@@ -1,0 +1,99 @@
+"""Ablation — design choices called out in DESIGN.md.
+
+* Timer schedule: the corollary's geometric schedule ``s(l) = s·r^l``
+  versus a flat Eq.(1)-safe schedule.  Both are correct; the geometric
+  one settles low-level (frequent) updates much faster, which is why
+  the paper's corollary assumes it.
+* Lateral links are ablated separately in bench_dithering (E4).
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import WorkAccountant, format_table
+from repro.core import VineStalk, grid_schedule, uniform_schedule
+from repro.hierarchy import grid_hierarchy
+from repro.mobility import RandomNeighborWalk
+from benchmarks.conftest import emit, once
+
+
+def run_with_schedule(make_schedule, n_moves=30, seed=81):
+    h = grid_hierarchy(3, 2)
+    schedule = make_schedule(h.params)
+    system = VineStalk(h, schedule=schedule)
+    system.sim.trace.enabled = False
+    accountant = WorkAccountant().attach(system.cgcast)
+    rng = random.Random(seed)
+    evader = system.make_evader(
+        RandomNeighborWalk(start=(4, 4)), dwell=1e12, start=(4, 4), rng=rng
+    )
+    system.run_to_quiescence()
+    base = accountant.epoch()
+    settle_times = []
+    for _ in range(n_moves):
+        start = system.sim.now
+        evader.step()
+        system.run_to_quiescence()
+        settle_times.append(system.sim.now - start)
+    work = accountant.epoch().minus(base).move_work
+    return work / n_moves, sum(settle_times) / n_moves, max(settle_times)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_timer_schedule_ablation(benchmark, capsys):
+    def run():
+        geometric = run_with_schedule(
+            lambda p: grid_schedule(p, 1.0, 0.5, 3)
+        )
+        flat = run_with_schedule(
+            lambda p: uniform_schedule(p, 1.0, 0.5)
+        )
+        return geometric, flat
+
+    (geo_work, geo_mean, geo_max), (flat_work, flat_mean, flat_max) = once(
+        benchmark, run
+    )
+    emit(
+        capsys,
+        format_table(
+            ["schedule", "work/move", "mean settle", "max settle"],
+            [
+                ("geometric s(l)=s·r^l", geo_work, geo_mean, geo_max),
+                ("flat Eq.(1)-safe", flat_work, flat_mean, flat_max),
+            ],
+            title="Ablation: grow/shrink timer schedule (r=3, MAX=2)",
+        ),
+    )
+    # Work is schedule-independent (same pointers move)…
+    assert geo_work == pytest.approx(flat_work, rel=0.15)
+    # …but the geometric schedule settles typical (low-level) moves faster.
+    assert geo_mean < flat_mean
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_eq1_violation_ablation(benchmark, capsys):
+    """Eq. (1) ablation: a violating schedule self-heals but pays ~7x work."""
+    from tests.core.test_eq1_negative_control import BAD_SCHEDULE, run_oscillation
+
+    def run():
+        bad = run_oscillation(BAD_SCHEDULE)
+        good = run_oscillation(None)
+        return bad, good
+
+    (bad_work, bad_eq, bad_cons), (good_work, good_eq, good_cons) = once(
+        benchmark, run
+    )
+    emit(
+        capsys,
+        format_table(
+            ["schedule", "work (8 oscillations)", "spec equal", "consistent"],
+            [
+                ("Eq.(1)-violating", bad_work, bad_eq, bad_cons),
+                ("Eq.(1)-valid", good_work, good_eq, good_cons),
+            ],
+            title="Ablation: the Eq.(1) timer constraint (boundary oscillation)",
+        ),
+    )
+    assert bad_eq and good_eq
+    assert bad_work > 4 * good_work

@@ -1,0 +1,49 @@
+"""E8 — related-work comparison: locality profile across algorithms.
+
+The same local workload (corner-area random walk + distance-2 finds)
+replayed on growing worlds.  VINESTALK's total work is diameter-
+independent; the home-agent rendezvous grows linearly with D and crosses
+over; Awerbuch–Peleg sits between; flooding depends only on the find
+distance but pays Θ(d²) per find.
+"""
+
+import pytest
+
+from repro.analysis import format_table, run_baseline_comparison
+from benchmarks.conftest import emit, once
+
+
+@pytest.mark.benchmark(group="E8-baselines")
+def test_locality_profile_across_diameters(benchmark, capsys):
+    def run():
+        table = {}
+        for M in (3, 4, 5, 6):
+            rows = run_baseline_comparison(
+                2, M, n_moves=12, n_finds=6, find_distance=2, seed=61
+            )
+            table[2**M - 1] = {row.algorithm: row for row in rows}
+        return table
+
+    table = once(benchmark, run)
+    algorithms = ["vinestalk", "home-agent", "awerbuch-peleg", "flooding"]
+    rows = []
+    for D, by_name in sorted(table.items()):
+        for name in algorithms:
+            row = by_name[name]
+            rows.append((D, name, row.move_work, row.find_work, row.total))
+    emit(
+        capsys,
+        format_table(
+            ["D", "algorithm", "move work", "find work", "total"],
+            rows,
+            title="E8: identical local workload on growing worlds",
+        ),
+    )
+    vinestalk = [table[D]["vinestalk"].total for D in sorted(table)]
+    home = [table[D]["home-agent"].total for D in sorted(table)]
+    # VINESTALK flat (within 15% across an 8x diameter range); home-agent
+    # grows roughly linearly with D and crosses over on the big world.
+    assert max(vinestalk) <= min(vinestalk) * 1.15
+    assert home[-1] > home[0] * 4
+    assert home[0] < vinestalk[0]
+    assert home[-1] > vinestalk[-1]

@@ -1,0 +1,46 @@
+"""E6 — §VI: concurrent move and find operations.
+
+Under the speed restriction, per-move work matches the atomic case,
+every find completes, and searches climb at most one level above the
+atomic minimum.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.analysis.experiments import run_concurrent
+from benchmarks.conftest import emit, once
+
+
+@pytest.mark.benchmark(group="E6-concurrent")
+def test_concurrent_operation_profile(benchmark, capsys):
+    def run():
+        return [
+            (seed, run_concurrent(3, 2, n_moves=20, n_finds=8, seed=seed))
+            for seed in (51, 52, 53)
+        ]
+
+    results = once(benchmark, run)
+    rows = [
+        (
+            seed,
+            res.moves,
+            f"{res.finds_completed}/{res.finds_issued}",
+            res.mean_find_latency,
+            res.work_ratio,
+            res.max_search_overshoot,
+        )
+        for seed, res in results
+    ]
+    emit(
+        capsys,
+        format_table(
+            ["seed", "moves", "finds ok", "latency", "work vs atomic", "overshoot"],
+            rows,
+            title="E6: concurrent moves + finds (r=3, MAX=2, §VI dwell)",
+        ),
+    )
+    for _seed, res in results:
+        assert res.success_rate == 1.0
+        assert res.work_ratio == pytest.approx(1.0, rel=0.05)
+        assert res.max_search_overshoot <= 1

@@ -1,0 +1,66 @@
+"""Extension bench — §VII multi-pursuit coordination.
+
+Pursuers clustered in one corner must overtake evaders spread across a
+16×16 world.  The command center's overlap-free assignment is compared
+with naive nearest-chasing on rounds-to-capture and find work.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.coordination import PursuitGame
+from repro.hierarchy import grid_hierarchy
+from benchmarks.conftest import emit, once
+
+KWARGS = dict(
+    n_evaders=3,
+    n_pursuers=3,
+    evader_dwell=50.0,
+    pursuer_speed=2,
+    evader_starts=[(2, 13), (13, 13), (13, 2)],
+    pursuer_starts=[(0, 0), (1, 0), (0, 1)],
+)
+
+
+@pytest.mark.benchmark(group="ext-coordination")
+def test_coordinated_vs_naive_pursuit(benchmark, capsys):
+    def run():
+        rows = []
+        for seed in (7, 8, 9):
+            h = grid_hierarchy(2, 4)
+            coord = PursuitGame(h, coordinated=True, seed=seed, **KWARGS).play(
+                max_rounds=80, round_period=50.0
+            )
+            h2 = grid_hierarchy(2, 4)
+            naive = PursuitGame(h2, coordinated=False, seed=seed, **KWARGS).play(
+                max_rounds=80, round_period=50.0
+            )
+            rows.append((seed, coord, naive))
+        return rows
+
+    rows = once(benchmark, run)
+    table_rows = []
+    for seed, coord, naive in rows:
+        table_rows.append(
+            (seed, "coordinated", coord.rounds, coord.find_work,
+             coord.pursuer_distance, coord.all_caught)
+        )
+        table_rows.append(
+            (seed, "naive", naive.rounds, naive.find_work,
+             naive.pursuer_distance, naive.all_caught)
+        )
+    emit(
+        capsys,
+        format_table(
+            ["seed", "strategy", "rounds", "find work", "distance", "all caught"],
+            table_rows,
+            title="Ext: pursuit with vs without command-center coordination",
+        ),
+    )
+    coord_rounds = sum(c.rounds for _s, c, _n in rows)
+    naive_rounds = sum(n.rounds for _s, _c, n in rows)
+    assert all(c.all_caught for _s, c, _n in rows)
+    assert coord_rounds <= naive_rounds
+    coord_work = sum(c.find_work for _s, c, _n in rows)
+    naive_work = sum(n.find_work for _s, _c, n in rows)
+    assert coord_work < naive_work

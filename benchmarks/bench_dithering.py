@@ -1,0 +1,68 @@
+"""E4 — the dithering problem (§IV-B): lateral links keep boundary
+oscillation local.
+
+An evader ping-pongs across the pair of adjacent regions separated at
+every hierarchy level below MAX.  With lateral links the steady-state
+per-move work is constant; without them (the STALK-style baseline) every
+move rebuilds the path to the top, with work growing with the diameter.
+"""
+
+import pytest
+
+from repro.analysis import format_table, run_dithering
+from benchmarks.conftest import emit, once
+
+OSCILLATIONS = 24
+
+
+@pytest.mark.benchmark(group="E4-dithering")
+def test_dithering_advantage_grows_with_diameter(benchmark, capsys):
+    def run():
+        return [(M, run_dithering(2, M, OSCILLATIONS)) for M in (2, 3, 4)]
+
+    results = once(benchmark, run)
+    rows = [
+        (
+            M,
+            2**M - 1,
+            res.per_move_with,
+            res.per_move_without,
+            res.advantage,
+        )
+        for M, res in results
+    ]
+    emit(
+        capsys,
+        format_table(
+            ["MAX", "D", "with laterals", "without", "advantage"],
+            rows,
+            title="E4a: per-move work, boundary oscillation (r=2)",
+        ),
+    )
+    # Lateral links: flat per-move cost across diameters.
+    with_costs = [res.per_move_with for _M, res in results]
+    assert max(with_costs) <= min(with_costs) * 1.5 + 4
+    # Without: cost grows with the diameter, and the advantage widens.
+    without_costs = [res.per_move_without for _M, res in results]
+    assert without_costs[-1] > without_costs[0] * 2
+    advantages = [res.advantage for _M, res in results]
+    assert advantages == sorted(advantages)
+    assert advantages[-1] > 5
+
+
+@pytest.mark.benchmark(group="E4-dithering")
+def test_dithering_r3(benchmark, capsys):
+    result = once(benchmark, lambda: run_dithering(3, 2, OSCILLATIONS))
+    emit(
+        capsys,
+        format_table(
+            ["metric", "value"],
+            [
+                ("per-move with laterals", result.per_move_with),
+                ("per-move without", result.per_move_without),
+                ("advantage", result.advantage),
+            ],
+            title="E4b: boundary oscillation on the r=3, MAX=2 grid",
+        ),
+    )
+    assert result.advantage > 3

@@ -1,0 +1,122 @@
+"""E2 — Theorem 5.2: a find launched distance d away costs O(d) work.
+
+Regenerates the find-cost-vs-distance series on a 16×16 grid and
+contrasts it with expanding-ring flooding (Θ(d²)) and the home-agent
+rendezvous (Θ(D), distance-independent).
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import (
+    best_growth_model,
+    format_table,
+    growth_ratio,
+    mean_find_work_by_distance,
+    run_find_sweep,
+)
+from repro.baselines import FloodingFinder, HomeAgentLocator
+from repro.geometry import GridTiling
+from benchmarks.conftest import emit, once
+
+DISTANCES = [1, 2, 3, 4, 6, 8, 12]
+
+
+@pytest.mark.benchmark(group="E2-find-cost")
+def test_find_cost_linear_in_distance(benchmark, capsys):
+    results = once(
+        benchmark,
+        lambda: run_find_sweep(2, 4, DISTANCES, seed=21, finds_per_distance=4),
+    )
+    assert all(r.completed for r in results)
+    pairs = mean_find_work_by_distance(results)
+    xs = [float(d) for d, _ in pairs]
+    ys = [w for _, w in pairs]
+    emit(
+        capsys,
+        format_table(
+            ["d", "mean find work", "Thm5.2 bound at level(d)"],
+            [
+                (d, w, next(r.bound for r in results if r.distance == d))
+                for d, w in pairs
+            ],
+            title="E2a: find work vs distance (16x16 grid)",
+        ),
+    )
+    # Shape: linear-ish, and certainly not quadratic.
+    assert growth_ratio(xs, ys) < 1.6
+    assert best_growth_model(xs, ys, ["linear", "quadratic"]) == "linear"
+    for r in results:
+        assert r.work <= r.bound + 3 * 31 + 16  # bound + trace/found constant
+
+
+@pytest.mark.benchmark(group="E2-find-cost")
+def test_find_latency_linear_in_distance(benchmark, capsys):
+    results = once(
+        benchmark,
+        lambda: run_find_sweep(2, 4, DISTANCES, seed=22, finds_per_distance=4),
+    )
+    by_d = {}
+    for r in results:
+        by_d.setdefault(r.distance, []).append(r.latency)
+    pairs = [(d, sum(v) / len(v)) for d, v in sorted(by_d.items())]
+    emit(
+        capsys,
+        format_table(
+            ["d", "mean find latency"],
+            pairs,
+            title="E2b: find latency vs distance (16x16 grid)",
+        ),
+    )
+    xs = [float(d) for d, _ in pairs]
+    ys = [latency for _, latency in pairs]
+    assert growth_ratio(xs, ys) < 1.6
+
+
+@pytest.mark.benchmark(group="E2-find-cost")
+def test_find_cost_vs_flooding_and_home_agent(benchmark, capsys):
+    """Who wins: VINESTALK O(d) vs flooding Θ(d²) vs home-agent Θ(D)."""
+
+    def run():
+        vinestalk = mean_find_work_by_distance(
+            run_find_sweep(2, 4, DISTANCES, seed=23, finds_per_distance=4)
+        )
+        tiling = GridTiling(16)
+        flood = FloodingFinder(tiling)
+        home = HomeAgentLocator(tiling)
+        origin_center = (8, 8)
+        rows = []
+        for d, vwork in vinestalk:
+            target = (min(8 + d, 15), 8)
+            home.move(target)
+            rows.append(
+                (
+                    d,
+                    vwork,
+                    flood.find(origin_center, target).work,
+                    home.find(origin_center).work,
+                )
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    emit(
+        capsys,
+        format_table(
+            ["d", "vinestalk", "flooding", "home-agent"],
+            rows,
+            title="E2c: find work by algorithm (16x16 grid)",
+        ),
+    )
+    ds = [float(r[0]) for r in rows]
+    flood_work = [r[2] for r in rows]
+    # Flooding grows clearly superlinearly (ring balls are Θ(d²); the
+    # doubling radii quantise the exponent slightly below 2).
+    assert growth_ratio(ds, flood_work) > 1.3
+    vine_work = [r[1] for r in rows]
+    assert growth_ratio(ds, flood_work) > growth_ratio(ds, vine_work)
+    # At small d VINESTALK beats flooding's ball and the home roundtrip
+    # is non-local compared to d.
+    d1 = rows[0]
+    assert d1[3] >= 7  # home-agent pays ~D even for d=1

@@ -1,0 +1,45 @@
+"""E3 — Lemmas 4.1 and 4.2 as runtime invariants.
+
+Random executions with the invariant monitor sampling after every
+simulation event: at most one outstanding grow and one outstanding
+shrink at any instant, and at most one lateral grow per level per move.
+"""
+
+import pytest
+
+from repro.analysis import format_table, run_invariant_watch
+from benchmarks.conftest import emit, once
+
+
+@pytest.mark.benchmark(group="E3-invariants")
+def test_lemma_4_1_4_2_across_worlds(benchmark, capsys):
+    def run():
+        return [
+            ((r, M), run_invariant_watch(r, M, n_moves=30, seed=31 + r + M))
+            for r, M in [(2, 2), (2, 3), (3, 2)]
+        ]
+
+    results = once(benchmark, run)
+    rows = [
+        (
+            f"r={r},MAX={M}",
+            res.moves,
+            res.max_grow_outstanding,
+            res.max_shrink_outstanding,
+            res.lateral_sends,
+            len(res.violations),
+        )
+        for (r, M), res in results
+    ]
+    emit(
+        capsys,
+        format_table(
+            ["world", "moves", "max grows", "max shrinks", "laterals", "violations"],
+            rows,
+            title="E3: Lemma 4.1/4.2 monitors over random walks",
+        ),
+    )
+    for (_rM, res) in results:
+        assert res.violations == []
+        assert res.max_grow_outstanding == 1
+        assert res.max_shrink_outstanding == 1

@@ -1,0 +1,72 @@
+"""E9 — the emulated VSA layer, plus raw engine throughput.
+
+Measures the §II-C.2 lifecycle (fail on empty region, restart after
+t_restart, tracking recovery through subsequent moves) and, as an
+infrastructure sanity benchmark, the discrete-event engine's raw event
+throughput.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.analysis.experiments import run_emulation_recovery
+from repro.sim import Simulator
+from benchmarks.conftest import emit, once
+
+
+@pytest.mark.benchmark(group="E9-layer")
+def test_vsa_failure_recovery(benchmark, capsys):
+    def run():
+        return [
+            (seed, run_emulation_recovery(3, 2, t_restart=5.0, seed=seed))
+            for seed in (71, 72, 73)
+        ]
+
+    results = once(benchmark, run)
+    rows = [
+        (
+            seed,
+            res.vsa_failures,
+            res.vsa_restarts,
+            res.path_broken_after_kill,
+            res.path_recovered,
+            res.recovery_moves,
+        )
+        for seed, res in results
+    ]
+    emit(
+        capsys,
+        format_table(
+            ["seed", "fails", "restarts", "broken", "recovered", "moves to recover"],
+            rows,
+            title="E9: kill the on-path VSA, revive, walk until recovery",
+        ),
+    )
+    for _seed, res in results:
+        assert res.vsa_failures >= 1
+        assert res.vsa_restarts >= 1
+        assert res.path_broken_after_kill
+        assert res.path_recovered
+        assert res.recovery_moves <= 30
+
+
+@pytest.mark.benchmark(group="engine")
+def test_engine_event_throughput(benchmark):
+    """Raw engine throughput: schedule-and-fire chains of events."""
+
+    def run():
+        sim = Simulator()
+        sim.trace.enabled = False
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 50_000:
+                sim.call_after(0.001, tick)
+
+        sim.call_after(0.0, tick)
+        sim.run()
+        return count[0]
+
+    fired = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    assert fired == 50_000

@@ -1,0 +1,35 @@
+"""E5 — Theorem 4.8: lookAhead(execution) = atomicMoveSeq(moves).
+
+Runs randomized executions on the real simulator and checks the central
+correctness equation both at settled points (every move) and at randomly
+interrupted mid-flight points, reporting how many states were checked.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.analysis.experiments import run_equivalence_check
+from benchmarks.conftest import emit, once
+
+
+@pytest.mark.benchmark(group="E5-model-equivalence")
+def test_theorem_4_8_randomized(benchmark, capsys):
+    def run():
+        rows = []
+        for (r, M, seed) in [(3, 2, 41), (2, 3, 42), (2, 4, 43)]:
+            checked, mismatches = run_equivalence_check(r, M, n_moves=20, seed=seed)
+            rows.append((f"r={r},MAX={M}", checked, mismatches))
+        return rows
+
+    rows = once(benchmark, run)
+    emit(
+        capsys,
+        format_table(
+            ["world", "states checked", "mismatches"],
+            rows,
+            title="E5: lookAhead == atomicMoveSeq over random executions",
+        ),
+    )
+    for _world, checked, mismatches in rows:
+        assert checked >= 80
+        assert mismatches == 0

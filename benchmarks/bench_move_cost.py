@@ -1,0 +1,135 @@
+"""E1 — Theorem 4.9: amortized move cost is O(d · r · log_r D) on the grid.
+
+Regenerates two series:
+
+* work per unit distance as the diameter D grows (fixed r): the paper
+  predicts logarithmic growth in D;
+* work per unit distance versus the analytic per-distance bound of
+  Theorem 4.9: measured values must stay below the bound.
+"""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    format_table,
+    growth_ratio,
+    move_time_bound_per_distance,
+    run_move_walk,
+)
+from repro.core import grid_schedule
+from repro.hierarchy import grid_params
+from benchmarks.conftest import emit, once
+
+MOVES = 40
+SEED = 11
+
+
+@pytest.mark.benchmark(group="E1-move-cost")
+def test_move_cost_vs_diameter_r2(benchmark, capsys):
+    """Work/move grows like log D for r=2 (D = 3, 7, 15, 31)."""
+
+    def run():
+        return [run_move_walk(2, M, MOVES, seed=SEED) for M in (2, 3, 4, 5)]
+
+    results = once(benchmark, run)
+    rows = [
+        (
+            res.r,
+            res.max_level,
+            res.diameter,
+            res.work_per_distance,
+            res.bound_per_distance,
+            res.work_per_distance / res.bound_per_distance,
+        )
+        for res in results
+    ]
+    emit(
+        capsys,
+        format_table(
+            ["r", "MAX", "D", "work/move", "Thm4.9 bound", "ratio"],
+            rows,
+            title="E1a: amortized move work vs diameter (r=2, 40-move walk)",
+        ),
+    )
+    diameters = [float(res.diameter) for res in results]
+    works = [res.work_per_distance for res in results]
+    # Shape: clearly sublinear in D (log-like), and below the bound.
+    assert growth_ratio(diameters, works) < 0.55
+    for res in results:
+        assert res.work_per_distance <= res.bound_per_distance
+
+
+@pytest.mark.benchmark(group="E1-move-cost")
+def test_move_cost_vs_diameter_r3(benchmark, capsys):
+    """Same shape for r=3 (D = 8, 26)."""
+
+    def run():
+        return [run_move_walk(3, M, MOVES, seed=SEED) for M in (2, 3)]
+
+    results = once(benchmark, run)
+    emit(
+        capsys,
+        format_table(
+            ["r", "MAX", "D", "work/move", "Thm4.9 bound"],
+            [
+                (r.r, r.max_level, r.diameter, r.work_per_distance, r.bound_per_distance)
+                for r in results
+            ],
+            title="E1b: amortized move work vs diameter (r=3)",
+        ),
+    )
+    small, large = results
+    # Tripling D (one more level) adds at most a constant per-move term.
+    assert large.work_per_distance <= small.work_per_distance + 25
+    assert large.work_per_distance <= large.bound_per_distance
+
+
+@pytest.mark.benchmark(group="E1-move-cost")
+def test_move_settle_time_vs_bound(benchmark, capsys):
+    """Amortized update time stays below the Theorem 4.9 time bound."""
+
+    def run():
+        return [run_move_walk(2, M, MOVES, seed=SEED) for M in (2, 3, 4)]
+
+    results = once(benchmark, run)
+    rows = []
+    for res in results:
+        params = grid_params(res.r, res.max_level)
+        schedule = grid_schedule(params, 1.0, 0.5, res.r)
+        bound = move_time_bound_per_distance(params, schedule, 1.0, 0.5)
+        rows.append((res.diameter, res.mean_settle_time, res.max_settle_time, bound))
+        assert res.mean_settle_time <= bound
+    emit(
+        capsys,
+        format_table(
+            ["D", "mean settle", "max settle", "Thm4.9 time bound"],
+            rows,
+            title="E1c: per-move update time vs diameter (r=2)",
+        ),
+    )
+
+
+@pytest.mark.benchmark(group="E1-move-cost")
+def test_per_move_work_is_bursty_but_amortized(benchmark, capsys):
+    """Individual moves vary (high-level updates are rare); the paper's
+    claim is amortized: q(l−1)-spaced level-l updates."""
+
+    result = once(benchmark, lambda: run_move_walk(2, 4, 80, seed=SEED))
+    cheap = sum(1 for w in result.per_move_work if w <= result.work_per_distance)
+    emit(
+        capsys,
+        format_table(
+            ["metric", "value"],
+            [
+                ("moves", result.moves),
+                ("mean work/move", result.work_per_distance),
+                ("max single-move work", max(result.per_move_work)),
+                ("moves at/below the mean", cheap),
+            ],
+            title="E1d: burstiness of per-move work (r=2, MAX=4)",
+        ),
+    )
+    assert max(result.per_move_work) > 2 * result.work_per_distance
+    assert cheap >= result.moves // 2

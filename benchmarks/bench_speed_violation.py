@@ -1,0 +1,81 @@
+"""Extension bench — §VII: degradation when the evader outruns the limit.
+
+"Lastly, we can examine the performance degradation that results if
+mobile objects occasionally move faster than we allow in our analysis.
+Such moves can result in suboptimal tracking path constructions, but if
+they occur infrequently enough the structure can still recover to
+something usable."
+
+We sweep the evader dwell from the atomic bound down to a small fraction
+of it, run a burst of moves, then measure (a) whether the settled state
+is consistent and (b) how many subsequent slow moves it takes before a
+cross-world find succeeds again.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import format_table
+from repro.core import VineStalk, capture_snapshot, check_consistent
+from repro.hierarchy import grid_hierarchy
+from repro.mobility import RandomNeighborWalk, atomic_dwell
+from benchmarks.conftest import emit, once
+
+
+def violation_run(dwell_factor, seed=17, burst_moves=20):
+    h = grid_hierarchy(3, 2)
+    system = VineStalk(h)
+    system.sim.trace.enabled = False
+    full_dwell = atomic_dwell(system.schedule, h.params, system.delta, system.e)
+    dwell = max(0.5, full_dwell * dwell_factor)
+    evader = system.make_evader(
+        RandomNeighborWalk(start=(4, 4)), dwell=dwell, start=(4, 4),
+        rng=random.Random(seed),
+    )
+    system.run_to_quiescence()
+    evader.start()
+    system.run(burst_moves * dwell)
+    evader.stop()
+    system.run_to_quiescence()
+    consistent = not check_consistent(capture_snapshot(system), h, evader.region)
+    recovery_moves = 0
+    while recovery_moves <= 40:
+        find_id = system.issue_find((0, 0))
+        system.run_to_quiescence()
+        record = system.finds.records[find_id]
+        if record.completed and record.found_region == evader.region:
+            break
+        evader.step()
+        system.run_to_quiescence()
+        recovery_moves += 1
+    else:
+        recovery_moves = None
+    return consistent, recovery_moves
+
+
+@pytest.mark.benchmark(group="ext-speed-violation")
+def test_degradation_vs_speed(benchmark, capsys):
+    def run():
+        rows = []
+        for factor in (1.0, 0.5, 0.2, 0.05, 0.01):
+            consistent, recovery = violation_run(factor)
+            rows.append((factor, consistent, recovery))
+        return rows
+
+    rows = once(benchmark, run)
+    emit(
+        capsys,
+        format_table(
+            ["dwell / atomic bound", "consistent after burst", "moves to usable find"],
+            rows,
+            title="Ext: evader speed violations (20-move burst, r=3 MAX=2)",
+        ),
+    )
+    by_factor = {f: (c, r) for f, c, r in rows}
+    # At or near the bound: consistent and immediately usable.
+    assert by_factor[1.0][0] is True
+    assert by_factor[1.0][1] == 0
+    # Every regime recovers to a usable structure within the move budget.
+    for _factor, _consistent, recovery in rows:
+        assert recovery is not None

@@ -1,0 +1,83 @@
+"""Extension bench — self-stabilization (§VII): convergence after corruption.
+
+Measures time to reconverge to a consistent state after random pointer
+corruption of increasing severity, and the steady-state heartbeat
+overhead.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import WorkAccountant, format_table
+from repro.hierarchy import grid_hierarchy
+from repro.mobility import FixedPath
+from repro.stabilization import StabilizationConfig, StabilizingVineStalk
+from benchmarks.conftest import emit, once
+
+CONFIG = StabilizationConfig(period_base=20.0, scale=2.0, miss_limit=3)
+
+
+def build():
+    h = grid_hierarchy(3, 2)
+    system = StabilizingVineStalk(h, stabilization=CONFIG)
+    system.sim.trace.enabled = False
+    system.make_evader(FixedPath([(4, 4)]), dwell=1e12, start=(4, 4))
+    system.start_anchor_refresh()
+    system.run(CONFIG.period(0) * 5)
+    return system
+
+
+@pytest.mark.benchmark(group="ext-stabilization")
+def test_convergence_time_vs_corruption_severity(benchmark, capsys):
+    def run():
+        rows = []
+        for severity in (2, 4, 8, 16):
+            times = []
+            for seed in (1, 2, 3):
+                system = build()
+                system.corrupt(random.Random(seed), severity)
+                elapsed = system.time_to_converge(max_time=5000.0, probe=7.0)
+                assert elapsed is not None
+                times.append(elapsed)
+            rows.append(
+                (severity, sum(times) / len(times), max(times))
+            )
+        return rows
+
+    rows = once(benchmark, run)
+    emit(
+        capsys,
+        format_table(
+            ["corrupted pointers", "mean convergence", "max"],
+            rows,
+            title="Ext: self-stabilization convergence (heartbeat period 20)",
+        ),
+    )
+    # Convergence is bounded by a few heartbeat timeouts, not by severity
+    # times a big factor: 16 corruptions converge within ~5x of 2.
+    assert rows[-1][1] <= rows[0][1] * 5 + 500
+
+
+@pytest.mark.benchmark(group="ext-stabilization")
+def test_steady_state_heartbeat_overhead(benchmark, capsys):
+    def run():
+        system = build()
+        accountant = WorkAccountant().attach(system.cgcast)
+        periods = 25
+        system.run(periods * CONFIG.period(0))
+        return accountant.other_work / periods, accountant.move_work / periods
+
+    hb_per_period, move_per_period = once(benchmark, run)
+    emit(
+        capsys,
+        format_table(
+            ["metric", "per level-0 period"],
+            [
+                ("heartbeat/ack/announce work", hb_per_period),
+                ("refresh grow work", move_per_period),
+            ],
+            title="Ext: steady-state stabilization overhead (static evader)",
+        ),
+    )
+    assert hb_per_period < 200  # O(path length · ω) per period

@@ -1,0 +1,21 @@
+"""Shared benchmark helpers.
+
+Every benchmark regenerates one experiment of EXPERIMENTS.md: it runs
+the experiment once inside ``benchmark.pedantic`` (timing the run),
+prints the paper-style table through :func:`emit` (bypassing capture so
+the rows land in ``bench_output.txt``), and asserts the claim's *shape*.
+"""
+
+import pytest
+
+
+def emit(capsys, text: str) -> None:
+    """Print a report table to the real terminal despite capture."""
+    with capsys.disabled():
+        print()
+        print(text)
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,24 @@
+#!/usr/bin/env python3
+"""Regenerate EXPERIMENTS.md: paper claim vs measured, for every experiment.
+
+Run:  python benchmarks/make_experiments_report.py [output-path]
+
+Thin wrapper over :mod:`repro.analysis.report`, which also backs
+``python -m repro report``.
+"""
+
+import sys
+from pathlib import Path
+
+from repro.analysis.report import build_report
+
+
+def main() -> None:
+    out_path = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("EXPERIMENTS.md")
+    text = build_report(progress=lambda name: print(f"running {name} ...", flush=True))
+    out_path.write_text(text)
+    print(f"wrote {out_path}")
+
+
+if __name__ == "__main__":
+    main()

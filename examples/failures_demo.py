@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""VSA failure and restart under the emulated layer (§II-C.2).
+
+VSAs only exist while physical nodes populate their regions.  This demo
+kills the nodes of a region on the tracking path (its VSA — and the
+Tracker processes it hosts — die with them), revives them, waits out
+``t_restart``, and shows the tracking structure being rebuilt by the
+evader's subsequent moves.
+
+Run:  python examples/failures_demo.py
+"""
+
+import random
+
+from repro import EmulatedVineStalk, grid_hierarchy
+from repro.mobility import RandomNeighborWalk
+
+T_RESTART = 5.0
+
+
+def main() -> None:
+    hierarchy = grid_hierarchy(r=3, max_level=2)
+    system = EmulatedVineStalk(
+        hierarchy, nodes_per_region=1, t_restart=T_RESTART, delta=1.0, e=0.5
+    )
+    evader = system.make_evader(
+        RandomNeighborWalk(start=(4, 4)), dwell=1e9, start=(4, 4),
+        rng=random.Random(3),
+    )
+    system.run_to_quiescence()
+    print(f"{system.network.alive_vsa_count()} VSAs up, tracking path "
+          f"intact: {system.path_is_intact()}")
+
+    # Kill the VSA hosting the evader's level-1 cluster process.
+    victim = hierarchy.head(hierarchy.cluster(evader.region, 1))
+    killed = system.kill_region(victim)
+    print(f"\nkilled {killed} node(s) in region {victim} — its VSA (and the "
+          f"level-1 Tracker it hosts) are down")
+    print(f"VSAs up: {system.network.alive_vsa_count()}, "
+          f"failed regions: {system.failed_regions()}")
+    print(f"tracking path intact: {system.path_is_intact()}")
+
+    # Revive: the VSA restarts from *initial state* after t_restart.
+    system.revive_region(victim)
+    system.run(T_RESTART + 0.1)
+    print(f"\nafter reviving and waiting t_restart={T_RESTART}: "
+          f"VSAs up: {system.network.alive_vsa_count()}")
+    print(f"tracking path intact: {system.path_is_intact()} "
+          f"(restarted VSAs lose their pointers)")
+
+    # The evader's own movement repairs the structure.
+    moves = 0
+    while not system.path_is_intact() and moves < 40:
+        evader.step()
+        system.run_to_quiescence()
+        moves += 1
+    print(f"\npath rebuilt after {moves} evader move(s); finds work again:")
+    find_id = system.issue_find((0, 0))
+    system.run_to_quiescence()
+    record = system.finds.records[find_id]
+    print(f"  find from (0, 0): found at {record.found_region} "
+          f"(evader at {evader.region}), work {record.work:.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""VINESTALK reproduction: virtual-node-based tracking for mobile networks.
+
+Reproduces Nolte & Lynch, *A Virtual Node-Based Tracking Algorithm for
+Mobile Networks* (ICDCS 2007): the Virtual Stationary Automata layer,
+the C-gcast service, the VINESTALK Tracker with lateral links and
+secondary pointers, the §IV-C verification machinery (lookAhead /
+atomicMoveSeq / consistency), find operations, baselines, and an
+empirical evaluation harness for every theorem the paper proves.
+
+Quick start::
+
+    from repro import VineStalk, grid_hierarchy
+    from repro.mobility import RandomNeighborWalk
+
+    system = VineStalk(grid_hierarchy(r=3, max_level=2))
+    evader = system.make_evader(RandomNeighborWalk(), dwell=100.0)
+    system.run_to_quiescence()
+    find_id = system.issue_find(origin=(0, 0))
+    system.run_to_quiescence()
+    print(system.finds.records[find_id].found_region)
+"""
+
+from .core.emulated import EmulatedVineStalk
+from .core.vinestalk import VineStalk
+from .hierarchy.grid import GridHierarchy, grid_hierarchy
+from .sim.engine import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EmulatedVineStalk",
+    "GridHierarchy",
+    "Simulator",
+    "VineStalk",
+    "__version__",
+    "grid_hierarchy",
+]

@@ -1,0 +1,73 @@
+"""Work accounting, bound formulas, experiment runners and reporting."""
+
+from .accounting import WorkAccountant, WorkSnapshot
+from .bounds import (
+    find_time_bound,
+    find_work_bound,
+    grid_find_work_bound,
+    grid_move_work_bound,
+    move_time_bound_per_distance,
+    move_work_bound_per_distance,
+    search_level_for_distance,
+)
+from .experiments import (
+    ComparisonRow,
+    DitheringResult,
+    FindCostResult,
+    InvariantResult,
+    MoveCostResult,
+    build_system,
+    mean_find_work_by_distance,
+    run_baseline_comparison,
+    run_dithering,
+    run_find_at_distance,
+    run_find_sweep,
+    run_invariant_watch,
+    run_move_walk,
+)
+from .fitting import GROWTH_MODELS, best_growth_model, fit_scale, growth_ratio
+from .reporting import format_series, format_table, sparkline
+
+__all__ = [
+    "ComparisonRow",
+    "DitheringResult",
+    "FindCostResult",
+    "GROWTH_MODELS",
+    "InvariantResult",
+    "MoveCostResult",
+    "WorkAccountant",
+    "WorkSnapshot",
+    "best_growth_model",
+    "build_system",
+    "find_time_bound",
+    "find_work_bound",
+    "fit_scale",
+    "format_series",
+    "format_table",
+    "grid_find_work_bound",
+    "grid_move_work_bound",
+    "growth_ratio",
+    "mean_find_work_by_distance",
+    "move_time_bound_per_distance",
+    "move_work_bound_per_distance",
+    "run_baseline_comparison",
+    "run_dithering",
+    "run_find_at_distance",
+    "run_find_sweep",
+    "run_invariant_watch",
+    "run_move_walk",
+    "search_level_for_distance",
+    "sparkline",
+]
+
+from .render import render_grid_world, render_path, render_pointer_stats  # noqa: E402
+from .timeline import TimelineEntry, extract_timeline, format_timeline  # noqa: E402
+
+__all__ += [
+    "TimelineEntry",
+    "extract_timeline",
+    "format_timeline",
+    "render_grid_world",
+    "render_path",
+    "render_pointer_stats",
+]

@@ -1,0 +1,82 @@
+"""Work and time accounting (§IV-D, §V cost algebra).
+
+The :class:`WorkAccountant` subscribes to C-gcast send records and
+classifies each message's cost as *move work* (grow/shrink family),
+*find work* (find/findQuery/findAck/found) or *other*.  Costs are the
+region-graph distance units of §II-C.3 — the same algebra Theorems 4.9
+and 5.2 are stated in.  :meth:`epoch` / :meth:`delta_since` let
+experiment runners measure per-move or per-phase increments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..geocast.cgcast import SendRecord
+from ..core.messages import TrackerMessage, is_find_message, is_move_message
+
+
+@dataclass(frozen=True)
+class WorkSnapshot:
+    """Cumulative work totals at one instant."""
+
+    move_work: float
+    find_work: float
+    other_work: float
+    messages: int
+
+    @property
+    def total(self) -> float:
+        return self.move_work + self.find_work + self.other_work
+
+    def minus(self, earlier: "WorkSnapshot") -> "WorkSnapshot":
+        return WorkSnapshot(
+            self.move_work - earlier.move_work,
+            self.find_work - earlier.find_work,
+            self.other_work - earlier.other_work,
+            self.messages - earlier.messages,
+        )
+
+
+class WorkAccountant:
+    """Classifies and accumulates communication work."""
+
+    def __init__(self) -> None:
+        self.move_work = 0.0
+        self.find_work = 0.0
+        self.other_work = 0.0
+        self.messages = 0
+        self.by_kind: Dict[str, float] = {}
+        self.count_by_kind: Dict[str, int] = {}
+
+    def attach(self, cgcast) -> "WorkAccountant":
+        """Subscribe to a C-gcast service; returns self for chaining."""
+        cgcast.observe(self.observe)
+        return self
+
+    def observe(self, record: SendRecord) -> None:
+        payload = record.payload
+        self.messages += 1
+        kind = payload.kind if isinstance(payload, TrackerMessage) else "other"
+        self.by_kind[kind] = self.by_kind.get(kind, 0.0) + record.cost
+        self.count_by_kind[kind] = self.count_by_kind.get(kind, 0) + 1
+        if isinstance(payload, TrackerMessage) and is_move_message(payload):
+            self.move_work += record.cost
+        elif isinstance(payload, TrackerMessage) and is_find_message(payload):
+            self.find_work += record.cost
+        else:
+            self.other_work += record.cost
+
+    def epoch(self) -> WorkSnapshot:
+        """Snapshot of the cumulative totals."""
+        return WorkSnapshot(
+            self.move_work, self.find_work, self.other_work, self.messages
+        )
+
+    def delta_since(self, earlier: WorkSnapshot) -> WorkSnapshot:
+        return self.epoch().minus(earlier)
+
+    @property
+    def total_work(self) -> float:
+        return self.move_work + self.find_work + self.other_work

@@ -1,0 +1,82 @@
+"""Theoretical bound formulas (Theorems 4.9 and 5.2).
+
+These compute the paper's analytic cost expressions for a given
+hierarchy geometry and timer schedule, so experiments can plot measured
+cost against the claimed bound and check the *shape* (not the constant).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..hierarchy.params import GeometryParams
+
+
+def move_work_bound_per_distance(params: GeometryParams) -> float:
+    """Theorem 4.9 amortized work per unit distance moved.
+
+    ``ω(0) + Σ_{j=1}^{MAX} n(j)(1 + ω(j)) / q(j−1)``.
+    """
+    total = float(params.omega(0))
+    for j in range(1, params.max_level + 1):
+        total += params.n(j) * (1 + params.omega(j)) / params.q(j - 1)
+    return total
+
+
+def move_time_bound_per_distance(
+    params: GeometryParams, schedule, delta: float, e: float
+) -> float:
+    """Theorem 4.9 amortized time per unit distance moved.
+
+    ``s(0) + Σ_{j=1}^{MAX} [s(j) + (δ+e)n(j)] / q(j−1)`` — with ``s``
+    capped at its top defined level (``s`` has no entry at MAX).
+    """
+    def s_at(level: int) -> float:
+        return schedule.s(min(level, schedule.max_level - 1))
+
+    total = s_at(0)
+    for j in range(1, params.max_level + 1):
+        total += (s_at(j) + (delta + e) * params.n(j)) / params.q(j - 1)
+    return total
+
+
+def grid_move_work_bound(r: int, diameter: int, distance: float) -> float:
+    """Grid corollary: ``O(d · r · log_r D)`` with unit constant."""
+    if diameter < 1:
+        return distance
+    return distance * r * max(1.0, math.log(diameter + 1, r))
+
+
+def find_work_bound(params: GeometryParams, search_level: int) -> float:
+    """Theorem 5.2 work bound for a find that searches up to ``search_level``.
+
+    ``Σ_{j=0}^{l} (1 + ω(j)) n(j)``.
+    """
+    total = 0.0
+    for j in range(min(search_level, params.max_level) + 1):
+        total += (1 + params.omega(j)) * params.n(j)
+    return total
+
+
+def find_time_bound(
+    params: GeometryParams, search_level: int, delta: float, e: float
+) -> float:
+    """Theorem 5.2 time bound: ``(δ+e)(n(l) + Σ_{j<l}[p(j) + n(j)])``."""
+    l = min(search_level, params.max_level)
+    total = params.n(l)
+    for j in range(l):
+        total += params.p(j) + params.n(j)
+    return (delta + e) * total
+
+
+def search_level_for_distance(params: GeometryParams, distance: int) -> int:
+    """Minimum level ``l`` with ``distance <= q(l)`` (Theorem 5.1/5.2)."""
+    for level in range(params.max_level + 1):
+        if distance <= params.q(level):
+            return level
+    return params.max_level
+
+
+def grid_find_work_bound(distance: float) -> float:
+    """Grid corollary: find work is ``O(d)`` (unit constant)."""
+    return max(1.0, distance)

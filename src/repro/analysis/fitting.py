@@ -1,0 +1,67 @@
+"""Growth-model fitting for benchmark series.
+
+The benchmarks validate *shapes*: find cost should grow linearly in the
+distance, flooding quadratically, move cost as ``d·log D``.  These
+helpers fit simple growth models by least squares and report which model
+explains a series best, so the harness can assert e.g. "linear beats
+quadratic for VINESTALK finds".
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Sequence, Tuple
+
+
+def fit_scale(
+    xs: Sequence[float], ys: Sequence[float], basis: Callable[[float], float]
+) -> Tuple[float, float]:
+    """Fit ``y ≈ a · basis(x)``; returns ``(a, rmse)``."""
+    if len(xs) != len(ys) or not xs:
+        raise ValueError("xs and ys must be equal-length and non-empty")
+    bs = [basis(x) for x in xs]
+    denom = sum(b * b for b in bs)
+    if denom == 0:
+        raise ValueError("degenerate basis (all zero)")
+    a = sum(b * y for b, y in zip(bs, ys)) / denom
+    rmse = math.sqrt(sum((y - a * b) ** 2 for b, y in zip(bs, ys)) / len(xs))
+    return a, rmse
+
+
+GROWTH_MODELS: Dict[str, Callable[[float], float]] = {
+    "constant": lambda x: 1.0,
+    "log": lambda x: math.log(x + 2.0),
+    "linear": lambda x: x,
+    "linearithmic": lambda x: x * math.log(x + 2.0),
+    "quadratic": lambda x: x * x,
+}
+
+
+def best_growth_model(
+    xs: Sequence[float], ys: Sequence[float], models: Sequence[str] = None
+) -> str:
+    """Name of the growth model with the lowest normalized RMSE."""
+    names = list(models) if models else list(GROWTH_MODELS)
+    mean_y = sum(ys) / len(ys) if ys else 1.0
+    scale = abs(mean_y) if mean_y else 1.0
+    best_name, best_err = None, None
+    for name in names:
+        _a, rmse = fit_scale(xs, ys, GROWTH_MODELS[name])
+        err = rmse / scale
+        if best_err is None or err < best_err:
+            best_name, best_err = name, err
+    return best_name
+
+
+def growth_ratio(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Empirical growth exponent from the series endpoints.
+
+    ``log(y_n / y_1) / log(x_n / x_1)`` — near 1 for linear series, near
+    2 for quadratic, near 0 for flat.
+    """
+    if len(xs) < 2:
+        raise ValueError("need at least two points")
+    (x0, y0), (x1, y1) = (xs[0], ys[0]), (xs[-1], ys[-1])
+    if x0 <= 0 or x1 <= 0 or y0 <= 0 or y1 <= 0 or x0 == x1:
+        raise ValueError("growth_ratio needs positive, distinct endpoints")
+    return math.log(y1 / y0) / math.log(x1 / x0)

@@ -1,0 +1,68 @@
+"""ASCII tables and series for experiment output.
+
+The paper is a theory paper, so "regenerating a table" means printing a
+measured-vs-bound table per claim.  These helpers render aligned ASCII
+tables that the benchmark harness writes to stdout and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render an aligned ASCII table."""
+    def render(cell: Any) -> str:
+        if isinstance(cell, float):
+            return float_fmt.format(cell)
+        return str(cell)
+
+    str_rows = [[render(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(w) for cell, w in zip(cells, widths))
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    for row in str_rows:
+        out.append(line(row))
+    return "\n".join(out)
+
+
+def format_series(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    x_label: str = "x",
+    y_label: str = "y",
+    title: Optional[str] = None,
+) -> str:
+    """Render a two-column series as a table."""
+    return format_table(
+        [x_label, y_label], list(zip(xs, ys)), title=title
+    )
+
+
+def sparkline(values: Sequence[float], width: int = 40) -> str:
+    """A quick unicode sparkline for run logs."""
+    if not values:
+        return ""
+    blocks = "▁▂▃▄▅▆▇█"
+    lo, hi = min(values), max(values)
+    span = hi - lo or 1.0
+    step = max(1, len(values) // width)
+    sampled = list(values)[::step][:width]
+    return "".join(blocks[int((v - lo) / span * (len(blocks) - 1))] for v in sampled)

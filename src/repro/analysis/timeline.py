@@ -1,0 +1,86 @@
+"""Message timeline extraction from simulation traces.
+
+Turns the flat :class:`~repro.sim.trace.TraceLog` into per-operation
+timelines: what messages flowed, in what order, at what times — the
+tool you want when a move's update cascade or a find's search phase
+needs explaining.  Used by the verification example and available for
+debugging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..sim.trace import TraceLog, TraceRecord
+
+
+@dataclass(frozen=True)
+class TimelineEntry:
+    """One event in an operation timeline."""
+
+    time: float
+    source: str
+    kind: str
+    detail: str
+
+    def format(self, start: float = 0.0) -> str:
+        return f"  t={self.time - start:7.2f}  {self.source:<22} {self.kind:<12} {self.detail}"
+
+
+RELEVANT_KINDS = (
+    "rcv",
+    "grow-sent",
+    "shrink-sent",
+    "findquery",
+    "find-forward",
+    "found",
+    "input",
+    "cTOBsend",
+)
+
+
+def extract_timeline(
+    trace: TraceLog,
+    since: float = 0.0,
+    until: Optional[float] = None,
+    kinds: Optional[tuple] = None,
+    source_prefix: Optional[str] = None,
+) -> List[TimelineEntry]:
+    """Collect trace records into an ordered timeline."""
+    selected = kinds if kinds is not None else RELEVANT_KINDS
+    out: List[TimelineEntry] = []
+    for record in trace:
+        if record.time < since:
+            continue
+        if until is not None and record.time > until:
+            continue
+        if record.kind not in selected:
+            continue
+        if source_prefix is not None and not record.source.startswith(source_prefix):
+            continue
+        out.append(
+            TimelineEntry(
+                record.time, record.source, record.kind, _describe(record)
+            )
+        )
+    return out
+
+
+def format_timeline(entries: List[TimelineEntry], title: str = "timeline") -> str:
+    """Render a timeline with times relative to its first entry."""
+    if not entries:
+        return f"{title}: (empty)"
+    start = entries[0].time
+    lines = [f"{title} (t0 = {start}):"]
+    lines.extend(entry.format(start) for entry in entries)
+    return "\n".join(lines)
+
+
+def _describe(record: TraceRecord) -> str:
+    detail = record.detail
+    if detail is None:
+        return ""
+    if isinstance(detail, tuple):
+        return " ".join(str(part) for part in detail)
+    return str(detail)

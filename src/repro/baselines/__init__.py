@@ -1,0 +1,18 @@
+"""Baseline trackers and locators the paper's related work compares against."""
+
+from .awerbuch_peleg import AwerbuchPelegDirectory, DirectoryCosts
+from .flooding import FloodingFinder, FloodResult
+from .home_agent import HomeAgentCosts, HomeAgentLocator
+from .no_lateral import NoLateralTracker, NoLateralVineStalk, build_no_lateral_system
+
+__all__ = [
+    "AwerbuchPelegDirectory",
+    "DirectoryCosts",
+    "FloodResult",
+    "FloodingFinder",
+    "HomeAgentCosts",
+    "HomeAgentLocator",
+    "NoLateralTracker",
+    "NoLateralVineStalk",
+    "build_no_lateral_system",
+]

@@ -1,0 +1,73 @@
+"""Home-agent location service (GLS-flavoured rendezvous baseline).
+
+The tracked object's location is published at a fixed *home region*
+determined by its identity (as in GLS's id-to-location hash [14] or a
+Mobile-IP home agent).  Every move updates the home; every find queries
+the home and then visits the object:
+
+* move work  = distance(current, home)       — Θ(D) regardless of step size,
+* find work  = distance(origin, home) + distance(home, object) — non-local
+  even when the object is adjacent to the finder.
+
+This is the classic non-locality strawman the locality-aware services
+(LLS, VINESTALK) are designed to beat.  Exact operational cost model
+over the region graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..geometry.regions import RegionId
+from ..geometry.tiling import Tiling
+
+
+@dataclass(frozen=True)
+class HomeAgentCosts:
+    """Costs of one operation."""
+
+    work: float
+    time: float
+
+
+class HomeAgentLocator:
+    """Rendezvous-based location service with a fixed home region."""
+
+    def __init__(
+        self,
+        tiling: Tiling,
+        home: Optional[RegionId] = None,
+        delta: float = 1.0,
+    ) -> None:
+        self.tiling = tiling
+        regions = tiling.regions()
+        # Default home: the lexicographically middle region (a fixed,
+        # identity-derived rendezvous point).
+        self.home = home if home is not None else regions[len(regions) // 2]
+        self.delta = delta
+        self.location: Optional[RegionId] = None
+        self.total_move_work = 0.0
+        self.total_find_work = 0.0
+        self.moves = 0
+        self.finds = 0
+
+    def move(self, new_region: RegionId) -> HomeAgentCosts:
+        """Object relocated: publish the new location at the home."""
+        self.location = new_region
+        distance = self.tiling.distance(new_region, self.home)
+        cost = HomeAgentCosts(work=float(distance), time=distance * self.delta)
+        self.total_move_work += cost.work
+        self.moves += 1
+        return cost
+
+    def find(self, origin: RegionId) -> HomeAgentCosts:
+        """Query the home, then visit the object's region."""
+        if self.location is None:
+            raise RuntimeError("no location published yet")
+        self.finds += 1
+        to_home = self.tiling.distance(origin, self.home)
+        to_object = self.tiling.distance(self.home, self.location)
+        work = float(to_home + to_object)
+        self.total_find_work += work
+        return HomeAgentCosts(work=work, time=work * self.delta)

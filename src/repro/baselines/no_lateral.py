@@ -1,0 +1,46 @@
+"""No-lateral-link tracker: the dithering-prone baseline (§IV-B).
+
+STALK-style hierarchical tracking *without* VINESTALK's lateral links:
+a grow always connects to the hierarchy parent, so an object moving back
+and forth across a multi-level cluster boundary rebuilds the path up to
+the level where the two positions share a cluster — work proportional to
+that level's geometry instead of O(1).  Benchmark E4 contrasts the two.
+
+Implementation: a :class:`Tracker` subclass whose grow ignores
+``nbrptup`` (it still *maintains* secondary pointers so finds behave
+identically), plus a :func:`build_no_lateral_system` assembling a full
+system around it.
+"""
+
+from __future__ import annotations
+
+from ..core.messages import Grow, GrowPar
+from ..core.tracker import Tracker
+from ..core.vinestalk import VineStalk
+
+
+class NoLateralTracker(Tracker):
+    """Tracker variant that always grows to its hierarchy parent."""
+
+    def output_grow_send(self) -> None:
+        """As Fig. 2's grow send, but with the lateral branch removed."""
+        self.timer.disarm()
+        par = self.parent_cluster
+        assert par is not None, "grow timer armed at MAX level"
+        self.p = par
+        self._send(par, Grow(cid=self.clust))
+        self._queue_to_nbrs(GrowPar(cid=self.clust))
+        self.trace("grow-sent", (par, "vertical"))
+
+
+class NoLateralVineStalk(VineStalk):
+    """A VINESTALK system built from :class:`NoLateralTracker` processes."""
+
+    tracker_cls = NoLateralTracker
+
+
+def build_no_lateral_system(hierarchy, delta=1.0, e=0.5, schedule=None, sim=None):
+    """Assemble a no-lateral tracking system over ``hierarchy``."""
+    return NoLateralVineStalk(
+        hierarchy, delta=delta, e=e, schedule=schedule, sim=sim
+    )

@@ -1,0 +1,162 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``     — run a tracked random walk and print the structure + costs;
+* ``find``     — sweep find costs by distance on a chosen world;
+* ``report``   — regenerate the EXPERIMENTS.md content (to stdout or a file);
+* ``validate`` — run the full §II-B hierarchy validation for a world.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="VINESTALK reproduction (Nolte & Lynch, ICDCS 2007)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="tracked random walk with finds")
+    demo.add_argument("--r", type=int, default=3, help="grid base (default 3)")
+    demo.add_argument("--max-level", type=int, default=2, help="hierarchy MAX")
+    demo.add_argument("--moves", type=int, default=20)
+    demo.add_argument("--finds", type=int, default=4)
+    demo.add_argument("--seed", type=int, default=7)
+
+    find = sub.add_parser("find", help="find-cost sweep by distance")
+    find.add_argument("--r", type=int, default=2)
+    find.add_argument("--max-level", type=int, default=4)
+    find.add_argument("--seed", type=int, default=21)
+
+    report = sub.add_parser("report", help="regenerate EXPERIMENTS.md content")
+    report.add_argument("--out", default=None, help="output path (default stdout)")
+
+    validate = sub.add_parser("validate", help="validate a hierarchy (§II-B)")
+    validate.add_argument("--r", type=int, default=3)
+    validate.add_argument("--max-level", type=int, default=2)
+    validate.add_argument("--strip", action="store_true", help="strip world")
+    validate.add_argument(
+        "--skip-proximity", action="store_true", help="skip the proximity check"
+    )
+    return parser
+
+
+def cmd_demo(args) -> int:
+    from .analysis.accounting import WorkAccountant
+    from .analysis.render import render_grid_world, render_path, render_pointer_stats
+    from .core.vinestalk import VineStalk
+    from .hierarchy.grid import grid_hierarchy
+    from .mobility.models import RandomNeighborWalk
+
+    hierarchy = grid_hierarchy(args.r, args.max_level)
+    system = VineStalk(hierarchy)
+    system.sim.trace.enabled = False
+    accountant = WorkAccountant().attach(system.cgcast)
+    rng = random.Random(args.seed)
+    regions = hierarchy.tiling.regions()
+    start = regions[len(regions) // 2]
+    evader = system.make_evader(
+        RandomNeighborWalk(start=start), dwell=1e12, start=start, rng=rng
+    )
+    system.run_to_quiescence()
+    for _ in range(args.moves):
+        evader.step()
+        system.run_to_quiescence()
+    print(
+        f"world {hierarchy.tiling.width}x{hierarchy.tiling.height} "
+        f"(r={args.r}, MAX={args.max_level}), {args.moves} moves, "
+        f"evader at {evader.region}"
+    )
+    snapshot = system.snapshot()
+    print(render_grid_world(hierarchy, snapshot, evader.region))
+    print(render_path(hierarchy, snapshot))
+    print(render_pointer_stats(snapshot))
+    print(f"move work: {accountant.move_work:.0f} "
+          f"({accountant.move_work / max(1, args.moves):.1f} per move)")
+    for _ in range(args.finds):
+        origin = rng.choice(regions)
+        find_id = system.issue_find(origin)
+        system.run_to_quiescence()
+        record = system.finds.records[find_id]
+        d = hierarchy.tiling.distance(origin, evader.region)
+        print(f"find from {origin} (d={d}): work {record.work:.0f}, "
+              f"latency {record.latency:.1f}")
+    return 0
+
+
+def cmd_find(args) -> int:
+    from .analysis.experiments import mean_find_work_by_distance, run_find_sweep
+    from .analysis.reporting import format_table
+
+    diameter = args.r**args.max_level - 1
+    distances = sorted({1, 2, 3, 4, max(1, diameter // 4), max(1, diameter // 2)})
+    results = run_find_sweep(
+        args.r, args.max_level, distances, seed=args.seed, finds_per_distance=4
+    )
+    pairs = mean_find_work_by_distance(results)
+    print(format_table(
+        ["d", "mean find work"], pairs,
+        title=f"find cost by distance (r={args.r}, MAX={args.max_level})",
+    ))
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .analysis.report import build_report
+
+    text = build_report(
+        progress=lambda name: print(f"running {name} ...", file=sys.stderr)
+    )
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(text)
+    return 0
+
+
+def cmd_validate(args) -> int:
+    from .hierarchy.grid import grid_hierarchy
+    from .hierarchy.strip import strip_hierarchy
+    from .hierarchy.validation import HierarchyValidationError, validate_hierarchy
+
+    if args.strip:
+        hierarchy = strip_hierarchy(args.r, args.max_level)
+        kind = "strip"
+    else:
+        hierarchy = grid_hierarchy(args.r, args.max_level)
+        kind = "grid"
+    try:
+        validate_hierarchy(hierarchy, proximity=not args.skip_proximity)
+    except HierarchyValidationError as exc:
+        print(f"INVALID: {exc}")
+        return 1
+    print(
+        f"{kind} hierarchy r={args.r} MAX={args.max_level} "
+        f"({len(hierarchy.tiling.regions())} regions, "
+        f"D={hierarchy.tiling.diameter()}): all §II-B requirements hold"
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    handlers = {
+        "demo": cmd_demo,
+        "find": cmd_find,
+        "report": cmd_report,
+        "validate": cmd_validate,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,14 @@
+"""Multi-object tracking and pursuit coordination (§VII extension)."""
+
+from .command_center import CommandCenter, Sighting
+from .game import GameResult, Pursuer, PursuitGame
+from .multi import MultiVineStalk
+
+__all__ = [
+    "CommandCenter",
+    "GameResult",
+    "MultiVineStalk",
+    "Pursuer",
+    "PursuitGame",
+    "Sighting",
+]

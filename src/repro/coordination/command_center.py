@@ -1,0 +1,110 @@
+"""Command-center coordination (§VII extension).
+
+"VSAs doing the tracking might occasionally send information to data
+repository VSAs acting as command centers.  These centers then direct
+finders to particular targets to eliminate as much overlap in pursuit
+as possible."
+
+:class:`CommandCenter` is such a data-repository VSA: it receives
+periodic sighting reports (evader id, region) — each charged the
+region-graph distance it travels, like any geocast — and computes
+pursuer→evader assignments by greedy minimum-distance matching, so no
+two pursuers chase the same evader while another runs free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..geometry.regions import RegionId
+from ..geometry.tiling import Tiling
+from ..sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class Sighting:
+    """Last known position of one evader."""
+
+    evader_id: str
+    region: RegionId
+    time: float
+
+
+class CommandCenter:
+    """Data-repository VSA directing pursuers at evaders."""
+
+    def __init__(self, sim: Simulator, tiling: Tiling, region: RegionId) -> None:
+        self.sim = sim
+        self.tiling = tiling
+        self.region = region
+        self.sightings: Dict[str, Sighting] = {}
+        self.report_work = 0.0
+        self.assignments_made = 0
+
+    # ------------------------------------------------------------------
+    # Sighting intake
+    # ------------------------------------------------------------------
+    def report(self, evader_id: str, region: RegionId) -> None:
+        """A tracking VSA reports a sighting (charged by distance)."""
+        self.report_work += max(1, self.tiling.distance(region, self.region))
+        self.sightings[evader_id] = Sighting(evader_id, region, self.sim.now)
+
+    def forget(self, evader_id: str) -> None:
+        self.sightings.pop(evader_id, None)
+
+    def last_sighting(self, evader_id: str) -> Optional[Sighting]:
+        return self.sightings.get(evader_id)
+
+    # ------------------------------------------------------------------
+    # Assignment
+    # ------------------------------------------------------------------
+    def assign(
+        self, pursuers: Dict[str, RegionId]
+    ) -> Dict[str, Optional[str]]:
+        """Direct each pursuer at a distinct evader (greedy min matching).
+
+        Pursuers left over once every sighted evader has a chaser are
+        assigned to their nearest evader as backup.
+        """
+        self.assignments_made += 1
+        pairs: List[Tuple[int, str, str]] = []
+        for pursuer_id, region in pursuers.items():
+            for sighting in self.sightings.values():
+                pairs.append(
+                    (
+                        self.tiling.distance(region, sighting.region),
+                        pursuer_id,
+                        sighting.evader_id,
+                    )
+                )
+        pairs.sort()
+        assignment: Dict[str, Optional[str]] = {p: None for p in pursuers}
+        taken = set()
+        for _dist, pursuer_id, evader_id in pairs:
+            if assignment[pursuer_id] is not None or evader_id in taken:
+                continue
+            assignment[pursuer_id] = evader_id
+            taken.add(evader_id)
+        # Backups: nearest evader for unmatched pursuers.
+        for _dist, pursuer_id, evader_id in pairs:
+            if assignment[pursuer_id] is None:
+                assignment[pursuer_id] = evader_id
+        return assignment
+
+    @staticmethod
+    def naive_assignment(
+        tiling: Tiling,
+        pursuers: Dict[str, RegionId],
+        sightings: Dict[str, RegionId],
+    ) -> Dict[str, Optional[str]]:
+        """The uncoordinated strategy: everyone chases their nearest evader."""
+        assignment: Dict[str, Optional[str]] = {}
+        for pursuer_id, region in pursuers.items():
+            best = None
+            for evader_id, evader_region in sightings.items():
+                d = tiling.distance(region, evader_region)
+                if best is None or d < best[0]:
+                    best = (d, evader_id)
+            assignment[pursuer_id] = best[1] if best else None
+        return assignment

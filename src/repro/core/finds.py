@@ -1,0 +1,97 @@
+"""Find operation bookkeeping (§V).
+
+The protocol itself carries no per-find state beyond the ``finding``
+flags; to evaluate Theorem 5.2 the harness needs to know, per find:
+where it started, when it started, when (and where) the first matching
+``found`` output occurred, and how much communication it consumed.
+:class:`FindCoordinator` issues find ids, listens to client ``found``
+outputs and to C-gcast send records, and aggregates those facts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..geometry.regions import RegionId
+from ..geocast.cgcast import SendRecord
+from ..sim.engine import Simulator
+from .messages import is_find_message
+
+
+@dataclass
+class FindRecord:
+    """Lifecycle of one find operation."""
+
+    find_id: int
+    origin: RegionId
+    issued_at: float
+    evader_region_at_issue: Optional[RegionId] = None
+    completed_at: Optional[float] = None
+    found_region: Optional[RegionId] = None
+    work: float = 0.0
+    retries: int = 0
+
+    @property
+    def completed(self) -> bool:
+        return self.completed_at is not None
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.issued_at
+
+
+class FindCoordinator:
+    """Issues find ids and aggregates per-find outcomes."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self._next_id = 1
+        self.records: Dict[int, FindRecord] = {}
+
+    def new_find(
+        self, origin: RegionId, evader_region: Optional[RegionId] = None
+    ) -> int:
+        """Allocate a find id for a query issued at ``origin``."""
+        find_id = self._next_id
+        self._next_id += 1
+        self.records[find_id] = FindRecord(
+            find_id=find_id,
+            origin=origin,
+            issued_at=self.sim.now,
+            evader_region_at_issue=evader_region,
+        )
+        return find_id
+
+    # -- wiring ----------------------------------------------------------
+    def client_found(self, find_id: int, region: RegionId, client_id: int) -> None:
+        """Client ``found`` output observer (first response wins)."""
+        record = self.records.get(find_id)
+        if record is None or record.completed:
+            return
+        record.completed_at = self.sim.now
+        record.found_region = region
+
+    def observe_send(self, record: SendRecord) -> None:
+        """C-gcast observer: attribute find-message work to its find."""
+        payload = record.payload
+        if not is_find_message(payload):
+            return
+        find_id = getattr(payload, "find_id", 0)
+        find = self.records.get(find_id)
+        if find is not None and not find.completed:
+            find.work += record.cost
+
+    # -- results -----------------------------------------------------------
+    def completed_records(self) -> List[FindRecord]:
+        return [r for r in self.records.values() if r.completed]
+
+    def outstanding(self) -> List[FindRecord]:
+        return [r for r in self.records.values() if not r.completed]
+
+    def completion_rate(self) -> float:
+        if not self.records:
+            return 1.0
+        return len(self.completed_records()) / len(self.records)

@@ -1,0 +1,128 @@
+"""Runtime invariant monitors for Lemmas 4.1 and 4.2.
+
+* **Lemma 4.1** — at any time, (cluster-originated grow messages in
+  transit) + (processes with ``c ≠ ⊥ ∧ p = ⊥`` below MAX) ≤ 1, and the
+  analogous bound for shrinks (``c = ⊥ ∧ p ≠ ⊥``).
+* **Lemma 4.2** — a grow is sent laterally at most once per level per
+  move.
+
+The monitor recomputes the counts after every simulation event (via the
+trace subscription) and records the maxima and any violations; the
+test-suite asserts on them and benchmark E3 reports them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..hierarchy.cluster import ClusterId
+from .messages import Grow, Shrink
+
+
+class InvariantMonitor:
+    """Continuously checks Lemma 4.1/4.2 on a running VINESTALK system."""
+
+    def __init__(self, system) -> None:
+        self.system = system
+        self.max_grow_outstanding = 0
+        self.max_shrink_outstanding = 0
+        self.violations: List[str] = []
+        # Lemma 4.2: (move epoch, level) -> lateral grow count.
+        self._lateral_counts: Dict[Tuple[int, int], int] = {}
+        self._epoch = 0
+        self._watching = False
+
+    # ------------------------------------------------------------------
+    # Counting (Lemma 4.1)
+    # ------------------------------------------------------------------
+    def grow_outstanding(self) -> int:
+        """Cluster grow messages in transit + pending-grow processes."""
+        in_transit = sum(
+            1
+            for src, _dest, payload, _t in self.system.cgcast.in_transit()
+            if isinstance(payload, Grow) and isinstance(src, ClusterId)
+        )
+        pending = sum(
+            1
+            for tracker in self.system.trackers.values()
+            if tracker.c is not None
+            and tracker.p is None
+            and tracker.lvl != self.system.hierarchy.max_level
+        )
+        return in_transit + pending
+
+    def shrink_outstanding(self) -> int:
+        """Cluster shrink messages in transit + pending-shrink processes."""
+        in_transit = sum(
+            1
+            for src, _dest, payload, _t in self.system.cgcast.in_transit()
+            if isinstance(payload, Shrink) and isinstance(src, ClusterId)
+        )
+        pending = sum(
+            1
+            for tracker in self.system.trackers.values()
+            if tracker.c is None
+            and tracker.p is not None
+            and tracker.lvl != self.system.hierarchy.max_level
+        )
+        return in_transit + pending
+
+    # ------------------------------------------------------------------
+    # Watching
+    # ------------------------------------------------------------------
+    def watch(self) -> None:
+        """Subscribe to the trace and sample after every record."""
+        if self._watching:
+            return
+        self._watching = True
+        self.system.sim.trace.subscribe(self._on_record)
+        if self.system.evader is not None:
+            self.system.evader.observe(self._on_evader)
+
+    def _on_evader(self, event: str, region) -> None:
+        if event == "move":
+            self._epoch += 1
+
+    def _on_record(self, record) -> None:
+        if record.kind == "grow-sent":
+            _par, mode = record.detail
+            if mode == "lateral":
+                level = int(record.source.split(":")[1])
+                key = (self._epoch, level)
+                self._lateral_counts[key] = self._lateral_counts.get(key, 0) + 1
+                if self._lateral_counts[key] > 1:
+                    self.violations.append(
+                        f"Lemma 4.2 violated at t={record.time}: "
+                        f"level {level} sent {self._lateral_counts[key]} lateral "
+                        f"grows in move epoch {self._epoch}"
+                    )
+        if record.kind in ("send", "rcv", "grow-sent", "shrink-sent", "input"):
+            self.sample(record.time)
+
+    def sample(self, time: Optional[float] = None) -> None:
+        """Take one sample of the Lemma 4.1 quantities."""
+        if time is None:
+            time = self.system.sim.now
+        grow = self.grow_outstanding()
+        shrink = self.shrink_outstanding()
+        self.max_grow_outstanding = max(self.max_grow_outstanding, grow)
+        self.max_shrink_outstanding = max(self.max_shrink_outstanding, shrink)
+        if grow > 1:
+            self.violations.append(
+                f"Lemma 4.1 violated at t={time}: {grow} grows outstanding"
+            )
+        if shrink > 1:
+            self.violations.append(
+                f"Lemma 4.1 violated at t={time}: {shrink} shrinks outstanding"
+            )
+
+    def lateral_sends_total(self) -> int:
+        return sum(self._lateral_counts.values())
+
+    def assert_clean(self) -> None:
+        """Raise if any invariant was violated."""
+        if self.violations:
+            raise AssertionError(
+                f"{len(self.violations)} invariant violations; first: "
+                f"{self.violations[0]}"
+            )

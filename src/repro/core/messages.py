@@ -1,0 +1,104 @@
+"""Tracker messages (Fig. 2 signature).
+
+All messages are ``⟨kind, v⟩`` pairs where ``v`` is a cluster id: the
+sender's cluster for most kinds, the forwarded pointer for ``findAck``.
+Find-phase messages additionally carry a ``find_id`` — a bookkeeping tag
+used by the experiment harness to attribute work and latency to
+individual find operations; it does not influence the algorithm
+(DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..hierarchy.cluster import ClusterId
+
+
+@dataclass(frozen=True)
+class TrackerMessage:
+    """Base class of all tracking-protocol messages."""
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__.lower()
+
+
+@dataclass(frozen=True)
+class Grow(TrackerMessage):
+    """Extend the tracking path: ``cid`` is the sender (new child)."""
+
+    cid: ClusterId
+
+
+@dataclass(frozen=True)
+class GrowNbr(TrackerMessage):
+    """Sender ``cid`` joined the path via a lateral link (sets nbrptdown)."""
+
+    cid: ClusterId
+
+
+@dataclass(frozen=True)
+class GrowPar(TrackerMessage):
+    """Sender ``cid`` joined the path via its hierarchy parent (sets nbrptup)."""
+
+    cid: ClusterId
+
+
+@dataclass(frozen=True)
+class Shrink(TrackerMessage):
+    """Remove deadwood: sender ``cid`` asks its path parent to drop it."""
+
+    cid: ClusterId
+
+
+@dataclass(frozen=True)
+class ShrinkUpd(TrackerMessage):
+    """Sender ``cid`` left the path; neighbors clear secondary pointers."""
+
+    cid: ClusterId
+
+
+@dataclass(frozen=True)
+class Find(TrackerMessage):
+    """A find operation in flight; ``cid`` is the forwarding process."""
+
+    cid: Optional[ClusterId]
+    find_id: int = 0
+
+
+@dataclass(frozen=True)
+class FindQuery(TrackerMessage):
+    """Search-phase neighbor query from process ``cid``."""
+
+    cid: ClusterId
+    find_id: int = 0
+
+
+@dataclass(frozen=True)
+class FindAck(TrackerMessage):
+    """Answer to a findQuery: ``pointer`` leads toward the tracking path."""
+
+    pointer: ClusterId
+    find_id: int = 0
+
+
+@dataclass(frozen=True)
+class Found(TrackerMessage):
+    """Tracing finished at the evader's region."""
+
+    find_id: int = 0
+
+
+# Kinds whose in-transit presence violates a consistent state (§IV-C).
+MOVE_MESSAGE_TYPES = (Grow, GrowNbr, GrowPar, Shrink, ShrinkUpd)
+FIND_MESSAGE_TYPES = (Find, FindQuery, FindAck, Found)
+
+
+def is_move_message(message: TrackerMessage) -> bool:
+    return isinstance(message, MOVE_MESSAGE_TYPES)
+
+
+def is_find_message(message: TrackerMessage) -> bool:
+    return isinstance(message, FIND_MESSAGE_TYPES)

@@ -1,0 +1,112 @@
+"""System state snapshots for verification (§IV-C machinery).
+
+The correctness argument of the paper manipulates *system states*:
+per-cluster pointer values plus the multiset of tracking messages in
+transit.  :class:`SystemSnapshot` captures exactly that from a live
+simulation (including each Tracker's ``sendq``, whose entries count as
+"queued" messages), in a form the ``lookAhead`` function and the
+consistency checker can manipulate without touching the simulation.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..hierarchy.cluster import ClusterId
+from .messages import TrackerMessage, is_move_message
+
+# The four Fig. 2 pointers; None is ⊥.
+PointerTuple = Tuple[
+    Optional[ClusterId], Optional[ClusterId], Optional[ClusterId], Optional[ClusterId]
+]
+
+
+@dataclass
+class PointerState:
+    """Mutable pointer record of one cluster process."""
+
+    c: Optional[ClusterId] = None
+    p: Optional[ClusterId] = None
+    nbrptup: Optional[ClusterId] = None
+    nbrptdown: Optional[ClusterId] = None
+
+    def as_tuple(self) -> PointerTuple:
+        return (self.c, self.p, self.nbrptup, self.nbrptdown)
+
+    def copy(self) -> "PointerState":
+        return PointerState(self.c, self.p, self.nbrptup, self.nbrptdown)
+
+
+@dataclass(frozen=True)
+class TransitMessage:
+    """One tracking message in transit (or queued in a sendq).
+
+    Attributes:
+        src: Sending cluster (None for client-originated messages).
+        dest: Destination cluster.
+        payload: The :class:`~repro.core.messages.TrackerMessage`.
+    """
+
+    src: Optional[ClusterId]
+    dest: ClusterId
+    payload: TrackerMessage
+
+
+@dataclass
+class SystemSnapshot:
+    """Pointer values of every cluster plus move messages in flight."""
+
+    pointers: Dict[ClusterId, PointerState]
+    in_transit: List[TransitMessage] = field(default_factory=list)
+
+    def copy(self) -> "SystemSnapshot":
+        return SystemSnapshot(
+            pointers={cid: ps.copy() for cid, ps in self.pointers.items()},
+            in_transit=list(self.in_transit),
+        )
+
+    def pointer_map(self) -> Dict[ClusterId, PointerTuple]:
+        """Canonical, comparable view of all pointer values."""
+        return {cid: ps.as_tuple() for cid, ps in self.pointers.items()}
+
+    def nonbottom_pointers(self) -> Dict[ClusterId, PointerTuple]:
+        """Only the clusters with at least one non-⊥ pointer (for diffs)."""
+        return {
+            cid: ps.as_tuple()
+            for cid, ps in self.pointers.items()
+            if ps.as_tuple() != (None, None, None, None)
+        }
+
+    def messages_of_kind(self, *types) -> List[TransitMessage]:
+        return [m for m in self.in_transit if isinstance(m.payload, types)]
+
+
+def capture_snapshot(system) -> SystemSnapshot:
+    """Capture the current tracking state of a VINESTALK system.
+
+    Includes every Tracker's pointers, its queued ``sendq`` entries, and
+    all move messages in transit in C-gcast.  Find-phase messages are
+    excluded: the §IV-C state space covers only the tracking structure.
+
+    Args:
+        system: A :class:`~repro.core.vinestalk.VineStalk` instance.
+    """
+    pointers: Dict[ClusterId, PointerState] = {}
+    in_transit: List[TransitMessage] = []
+    for tracker in system.trackers.values():
+        pointers[tracker.clust] = PointerState(
+            tracker.c, tracker.p, tracker.nbrptup, tracker.nbrptdown
+        )
+        for dest, payload in tracker.sendq:
+            if is_move_message(payload):
+                in_transit.append(TransitMessage(tracker.clust, dest, payload))
+    for src, dest, payload, _time in system.cgcast.in_transit():
+        if isinstance(dest, tuple):  # client broadcast, not a cluster message
+            continue
+        if not isinstance(payload, TrackerMessage) or not is_move_message(payload):
+            continue
+        src_cluster = src if isinstance(src, ClusterId) else None
+        in_transit.append(TransitMessage(src_cluster, dest, payload))
+    return SystemSnapshot(pointers, in_transit)

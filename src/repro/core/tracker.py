@@ -1,0 +1,346 @@
+"""The Tracker subautomaton ``Tracker_{u,lvl}`` (Fig. 2).
+
+One Tracker runs per cluster, hosted at the VSA of the cluster's head
+region.  Trackers jointly maintain the tracking path (child pointer
+``c``, parent pointer ``p``, secondary pointers ``nbrptup`` /
+``nbrptdown``) and service finds (two phases: search, trace).
+
+The translation follows Fig. 2 statement by statement; the two places
+where the printed figure and the prose of §IV-B disagree are resolved
+in favour of the prose / ``lookAhead`` semantics — see DESIGN.md §3:
+
+1. a received ``grow`` always updates ``c`` (the figure's guard would
+   prevent the path junction from repointing);
+2. the shrink timer is armed only when ``p ≠ ⊥`` (the figure arms it
+   unconditionally below MAX, which could clobber a pending grow timer).
+
+TIOA urgency ("stops when any precondition is satisfied") is realised
+by the executor draining :meth:`enabled_outputs` after every input and
+wakeup.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..hierarchy.cluster import ClusterId
+from ..hierarchy.hierarchy import ClusterHierarchy
+from ..tioa.actions import Action
+from ..tioa.automaton import TimedAutomaton
+from ..tioa.timers import Timer
+from .messages import (
+    Find,
+    FindAck,
+    FindQuery,
+    Found,
+    Grow,
+    GrowNbr,
+    GrowPar,
+    Shrink,
+    ShrinkUpd,
+    TrackerMessage,
+)
+from .timers import TimerSchedule
+
+BOTTOM = None  # ⊥ of Fig. 2
+
+
+class Tracker(TimedAutomaton):
+    """Cluster process ``clust = cluster(u, lvl)`` with ``h(clust) = u``.
+
+    Args:
+        hierarchy: The cluster hierarchy.
+        clust: This process's cluster.
+        cgcast: C-gcast service for ``cTOBsend``/``cTOBrcv``.
+        schedule: Grow/shrink timer schedule satisfying Eq. (1).
+        delta: Broadcast delay ``δ`` (for the find neighbor timeout).
+        e: Emulation lag ``e`` (same).
+    """
+
+    def __init__(
+        self,
+        hierarchy: ClusterHierarchy,
+        clust: ClusterId,
+        cgcast,
+        schedule: TimerSchedule,
+        delta: float,
+        e: float,
+    ) -> None:
+        super().__init__(f"tracker:{clust.level}:{clust.key}")
+        self.hierarchy = hierarchy
+        self.clust = clust
+        self.lvl = clust.level
+        self.cgcast = cgcast
+        self.schedule = schedule
+        self.delta = delta
+        self.e = e
+        self.max_level = hierarchy.max_level
+        # Static cluster environment (deterministic order).
+        self.nbr_clusters: List[ClusterId] = hierarchy.nbrs(clust)
+        self.parent_cluster: Optional[ClusterId] = hierarchy.parent(clust)
+
+        # --- Fig. 2 state variables -----------------------------------
+        self.c: Optional[ClusterId] = BOTTOM
+        self.p: Optional[ClusterId] = BOTTOM
+        self.nbrptup: Optional[ClusterId] = BOTTOM
+        self.nbrptdown: Optional[ClusterId] = BOTTOM
+        self.sendq: List[tuple] = []  # (dest, TrackerMessage), FIFO
+        self.timer = Timer(self, "timer")
+        # --- find-related state ----------------------------------------
+        self.nbrtimeout = Timer(self, "nbrtimeout")
+        self.findAckq: List[tuple] = []  # (dest, FindAck)
+        self.finding = False
+        self.find_id = 0  # bookkeeping tag of the find in service
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def reset_state(self) -> None:
+        self.c = BOTTOM
+        self.p = BOTTOM
+        self.nbrptup = BOTTOM
+        self.nbrptdown = BOTTOM
+        self.sendq = []
+        self.timer.disarm()
+        self.nbrtimeout.disarm()
+        self.findAckq = []
+        self.finding = False
+        self.find_id = 0
+
+    def on_failed(self) -> None:
+        self.timer.disarm()
+        self.nbrtimeout.disarm()
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _send(self, dest: ClusterId, message: TrackerMessage) -> None:
+        self.cgcast.send_vsa(self.clust, dest, message)
+
+    def _queue_to_nbrs(self, message: TrackerMessage, exclude=None) -> None:
+        for nbr in self.nbr_clusters:
+            if exclude is not None and nbr == exclude:
+                continue
+            self.sendq.append((nbr, message))
+
+    @property
+    def on_path(self) -> bool:
+        """On the tracking path: has a parent pointer or is the root."""
+        return self.p is not BOTTOM or self.lvl == self.max_level
+
+    # ------------------------------------------------------------------
+    # Input: cTOBrcv — dispatch on message type
+    # ------------------------------------------------------------------
+    def input_cTOBrcv(self, message: TrackerMessage) -> None:
+        handler = getattr(self, f"_recv_{message.kind}", None)
+        if handler is None:
+            raise TypeError(f"{self.name}: unhandled message {message!r}")
+        self.trace("rcv", message)
+        handler(message)
+
+    # --- move-related receipts -----------------------------------------
+    def _recv_grow(self, message: Grow) -> None:
+        """Grow receipt: adopt the sender as child; maybe schedule a grow.
+
+        Per §IV-B.1 prose (and lookAhead): ``c`` is always updated; the
+        grow is *done* if already on the path (``p ≠ ⊥`` or MAX),
+        otherwise the grow timer is armed — but never re-armed, so a
+        pending grow keeps its original deadline.
+        """
+        was_bottom = self.c is BOTTOM
+        self.c = message.cid
+        if was_bottom and self.p is BOTTOM and self.lvl != self.max_level:
+            self.timer.arm(self.now + self.schedule.g(self.lvl))
+
+    def _recv_growpar(self, message: GrowPar) -> None:
+        self.nbrptup = message.cid
+
+    def _recv_grownbr(self, message: GrowNbr) -> None:
+        self.nbrptdown = message.cid
+
+    def _recv_shrink(self, message: Shrink) -> None:
+        """Shrink receipt: drop deadwood child; maybe schedule a shrink.
+
+        Only a ``c`` still pointing at the sender is cleared (a newer
+        grow may have repointed it); the shrink timer is armed only when
+        ``p ≠ ⊥`` (DESIGN.md §3.2).
+        """
+        if self.c == message.cid:
+            self.c = BOTTOM
+            if self.lvl != self.max_level and self.p is not BOTTOM:
+                self.timer.arm(self.now + self.schedule.s(self.lvl))
+
+    def _recv_shrinkupd(self, message: ShrinkUpd) -> None:
+        if self.nbrptup == message.cid:
+            self.nbrptup = BOTTOM
+        if self.nbrptdown == message.cid:
+            self.nbrptdown = BOTTOM
+
+    # --- find-related receipts ------------------------------------------
+    def _recv_find(self, message: Find) -> None:
+        self.finding = True
+        self.find_id = message.find_id
+        self.nbrtimeout.disarm()  # nbrtimeout ← ∞
+
+    def _recv_findquery(self, message: FindQuery) -> None:
+        reply: Optional[ClusterId] = None
+        if self.c is not BOTTOM:
+            reply = self.c
+        elif self.nbrptdown is not BOTTOM:
+            reply = self.nbrptdown
+        elif self.nbrptup is not BOTTOM:
+            reply = self.nbrptup
+        if reply is not None:
+            self.findAckq.append(
+                (message.cid, FindAck(pointer=reply, find_id=message.find_id))
+            )
+
+    def _recv_findack(self, message: FindAck) -> None:
+        if (
+            self.finding
+            and message.pointer != self.clust
+            and self.c is BOTTOM
+            and self.nbrptdown is BOTTOM
+            and self.nbrptup in (BOTTOM, self.p)
+        ):
+            self.sendq.append(
+                (message.pointer, Find(cid=self.clust, find_id=message.find_id))
+            )
+            self.finding = False
+
+    def _recv_found(self, message: Found) -> None:
+        """A neighboring level-0 process announced found: relay to clients.
+
+        Fig. 2 queues ``found`` to level-0 neighbors; §V says clients in
+        that and neighboring regions receive it.  The neighbor process
+        relays the announcement to its own region's clients.
+        """
+        if self.lvl == 0:
+            self.cgcast.send_to_clients(self.clust, message)
+
+    # ------------------------------------------------------------------
+    # Locally controlled actions
+    # ------------------------------------------------------------------
+    def enabled_outputs(self) -> List[Action]:
+        """Enabled outputs, in deterministic precedence order."""
+        out: List[Action] = []
+        if self.sendq:
+            out.append(Action.output("sendq_head"))
+            return out
+        if self.findAckq:
+            out.append(Action.output("findAckq_head"))
+            return out
+        # Grow send: now = timer ∧ c ≠ ⊥ ∧ p = ⊥.
+        if self.timer.expired() and self.c is not BOTTOM and self.p is BOTTOM:
+            return [Action.output("grow_send")]
+        # Shrink send: now = timer ∧ c = ⊥ ∧ p ≠ ⊥.
+        if self.timer.expired() and self.c is BOTTOM and self.p is not BOTTOM:
+            return [Action.output("shrink_send")]
+        if self.timer.expired():
+            # Timer fired but neither grow nor shrink is enabled (the
+            # pointer it guarded was changed in flight): disarm lazily.
+            self.timer.disarm()
+        if self.finding:
+            found_or_forward = self._find_progress_action()
+            if found_or_forward is not None:
+                return [found_or_forward]
+        return out
+
+    def _find_progress_action(self) -> Optional[Action]:
+        """The enabled find-related action, if any (Fig. 2 find section)."""
+        # found: finding ∧ c = clust.
+        if self.c == self.clust:
+            return Action.output("found_send")
+        # find forward: tracing via c, or searching via pointers/timeout.
+        dest = self._find_forward_dest()
+        if dest is not None:
+            return Action.output("find_forward", dest=dest)
+        # findquery: c = nbrptdown = ⊥ ∧ nbrptup ∈ {⊥, p} ∧ no query outstanding.
+        if (
+            self.c is BOTTOM
+            and self.nbrptdown is BOTTOM
+            and self.nbrptup in (BOTTOM, self.p)
+            and self.nbrtimeout.deadline > self.now + self._query_roundtrip()
+        ):
+            return Action.internal("findquery")
+        return None
+
+    def _find_forward_dest(self) -> Optional[ClusterId]:
+        """Destination satisfying the Fig. 2 find-forward precondition."""
+        if self.c not in (BOTTOM, self.clust):
+            return self.c  # tracing
+        if self.c is BOTTOM and self.nbrptdown is not BOTTOM:
+            return self.nbrptdown
+        if self.c is BOTTOM and self.nbrptdown is BOTTOM:
+            if self.nbrptup is not BOTTOM and self.nbrptup != self.p:
+                return self.nbrptup
+            if self.nbrtimeout.armed and self.nbrtimeout.deadline <= self.now:
+                if self.nbrptup is BOTTOM:
+                    return self.parent_cluster  # None at MAX: no forward
+                return self.nbrptup
+        return None
+
+    def _query_roundtrip(self) -> float:
+        """Roundtrip neighbor communication time: ``2(δ+e)n(lvl)``."""
+        return 2 * (self.delta + self.e) * self.hierarchy.params.n(self.lvl)
+
+    # --- output effects ---------------------------------------------------
+    def output_sendq_head(self) -> None:
+        dest, message = self.sendq.pop(0)
+        self._send(dest, message)
+
+    def output_findAckq_head(self) -> None:
+        dest, message = self.findAckq.pop(0)
+        self._send(dest, message)
+
+    def output_grow_send(self) -> None:
+        """cTOBsend(⟨grow, clust⟩, par): join the path and extend it."""
+        self.timer.disarm()
+        if self.nbrptup is not BOTTOM:
+            par = self.nbrptup
+            lateral = True
+        else:
+            par = self.parent_cluster
+            lateral = False
+        assert par is not None, "grow timer armed at MAX level"
+        self.p = par
+        self._send(par, Grow(cid=self.clust))
+        update = GrowNbr(cid=self.clust) if lateral else GrowPar(cid=self.clust)
+        self._queue_to_nbrs(update)
+        self.trace("grow-sent", (par, "lateral" if lateral else "vertical"))
+
+    def output_shrink_send(self) -> None:
+        """cTOBsend(⟨shrink, clust⟩, p): leave the path, clean secondaries."""
+        self.timer.disarm()
+        par = self.p
+        self.p = BOTTOM
+        self._send(par, Shrink(cid=self.clust))
+        self._queue_to_nbrs(ShrinkUpd(cid=self.clust))
+        self.trace("shrink-sent", par)
+
+    def output_found_send(self) -> None:
+        """cTOBsend(⟨found, clust⟩, clust): announce at the evader's region."""
+        found = Found(find_id=self.find_id)
+        self.cgcast.send_to_clients(self.clust, found)
+        for nbr in self.nbr_clusters:
+            self.sendq.append((nbr, found))
+        self.finding = False
+        self.trace("found", self.find_id)
+
+    def output_find_forward(self, dest: ClusterId) -> None:
+        self.finding = False
+        self._send(dest, Find(cid=self.clust, find_id=self.find_id))
+        self.trace("find-forward", dest)
+
+    def internal_findquery(self) -> None:
+        self.nbrtimeout.arm(self.now + self._query_roundtrip())
+        query = FindQuery(cid=self.clust, find_id=self.find_id)
+        self._queue_to_nbrs(query, exclude=self.p)
+        self.trace("findquery", self.find_id)
+
+    # ------------------------------------------------------------------
+    # Introspection for verification tooling
+    # ------------------------------------------------------------------
+    def pointer_state(self) -> tuple:
+        """``(c, p, nbrptup, nbrptdown)`` snapshot."""
+        return (self.c, self.p, self.nbrptup, self.nbrptdown)

@@ -1,0 +1,244 @@
+"""VINESTALK system assembly (§III-B).
+
+:class:`VineStalk` wires the full stack for one hierarchy:
+
+* a :class:`~repro.vsa.layer.VsaNetwork` (simulator, executor, VSA hosts,
+  C-gcast);
+* one :class:`~repro.core.tracker.Tracker` per cluster, hosted as
+  subautomaton ``V_{u,l}`` at the VSA of the cluster's head region and
+  registered as that cluster's C-gcast process;
+* one (static) :class:`~repro.core.client_tracking.TrackingClient` per
+  region, receiving the augmented GPS ``move``/``left`` inputs and
+  client-bound broadcasts;
+* a :class:`~repro.core.finds.FindCoordinator` for find bookkeeping.
+
+This is the *abstract* regime (every VSA alive) used by the theorem
+experiments; the emulated regime lives in
+:mod:`repro.core.emulated`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..geometry.regions import RegionId
+from ..hierarchy.cluster import ClusterId
+from ..hierarchy.hierarchy import ClusterHierarchy
+from ..mobility.evader import Evader
+from ..mobility.models import MobilityModel
+from ..sim.engine import Simulator
+from ..tioa.actions import Action
+from .client_tracking import TrackingClient
+from .finds import FindCoordinator
+from .state import SystemSnapshot, capture_snapshot
+from .timers import TimerSchedule, grid_schedule
+from .tracker import Tracker
+
+
+class VineStalk:
+    """A complete VINESTALK deployment over one cluster hierarchy.
+
+    Args:
+        hierarchy: The (validated) cluster hierarchy.
+        delta: Broadcast delay ``δ``.
+        e: VSA emulation lag ``e``.
+        schedule: Grow/shrink timer schedule; defaults to the grid
+            corollary schedule when the hierarchy exposes a base ``r``,
+            else a schedule must be provided.
+        sim: Optional externally owned simulator.
+    """
+
+    #: Tracker class to instantiate per cluster; baselines override this.
+    tracker_cls = Tracker
+    #: C-gcast implementation; the emulated system may use PhysicalCGcast.
+    cgcast_cls = None
+
+    def __init__(
+        self,
+        hierarchy: ClusterHierarchy,
+        delta: float = 1.0,
+        e: float = 0.5,
+        schedule: Optional[TimerSchedule] = None,
+        sim: Optional[Simulator] = None,
+    ) -> None:
+        from ..vsa.layer import VsaNetwork
+
+        self.hierarchy = hierarchy
+        self.delta = delta
+        self.e = e
+        if schedule is None:
+            r = getattr(hierarchy, "r", None)
+            if r is None:
+                raise ValueError(
+                    "hierarchy has no grid base r; pass an explicit schedule"
+                )
+            schedule = grid_schedule(hierarchy.params, delta, e, r)
+        schedule.validate(hierarchy.params, delta, e)
+        self.schedule = schedule
+
+        if self.cgcast_cls is not None:
+            self.network = VsaNetwork(
+                hierarchy, delta=delta, e=e, sim=sim, cgcast_cls=self.cgcast_cls
+            )
+        else:
+            self.network = VsaNetwork(hierarchy, delta=delta, e=e, sim=sim)
+        self.sim = self.network.sim
+        self.cgcast = self.network.cgcast
+
+        # One Tracker per cluster, hosted at its head region's VSA.
+        self.trackers: Dict[ClusterId, Tracker] = {}
+        for clust in hierarchy.all_clusters():
+            tracker = self.tracker_cls(
+                hierarchy, clust, self.cgcast, schedule, delta, e
+            )
+            head = hierarchy.head(clust)
+            self.network.add_subautomaton(head, f"tracker:l{clust.level}", tracker)
+            self.cgcast.register_process(clust, tracker)
+            self.trackers[clust] = tracker
+
+        # One static client per region.
+        self.clients: Dict[RegionId, TrackingClient] = {}
+        for index, region in enumerate(hierarchy.tiling.regions()):
+            client = TrackingClient(index, hierarchy, self.cgcast)
+            client.home_region = region
+            self.network.add_client(client)
+            client.handle_input(Action.input("GPSupdate", region=region))
+            self.cgcast.register_client_sink(
+                region, self._client_sink(client)
+            )
+            self.clients[region] = client
+
+        self.finds = FindCoordinator(self.sim)
+        self.cgcast.observe(self.finds.observe_send)
+        for client in self.clients.values():
+            client.on_found(self.finds.client_found)
+
+        self.evader: Optional[Evader] = None
+        self.moves_observed = 0
+
+    # ------------------------------------------------------------------
+    # Wiring helpers
+    # ------------------------------------------------------------------
+    def _client_sink(self, client: TrackingClient):
+        def sink(message) -> None:
+            if not client.failed:
+                client.handle_input(Action.input("cTOBrcv", message=message))
+                self.network.executor.kick(client)
+
+        return sink
+
+    # ------------------------------------------------------------------
+    # Evader management
+    # ------------------------------------------------------------------
+    def make_evader(
+        self,
+        model: MobilityModel,
+        dwell: float,
+        rng=None,
+        start: Optional[RegionId] = None,
+    ) -> Evader:
+        """Create, attach and place an evader (emits the first ``move``)."""
+        evader = Evader(self.sim, self.hierarchy.tiling, model, dwell, rng=rng)
+        self.attach_evader(evader)
+        evader.enter(start)
+        return evader
+
+    def attach_evader(self, evader: Evader) -> None:
+        if self.evader is not None:
+            raise RuntimeError("an evader is already attached")
+        self.evader = evader
+        evader.observe(self._evader_event)
+
+    def _evader_event(self, event: str, region: RegionId) -> None:
+        """Augmented GPS: deliver move/left to the region's clients (§III).
+
+        Delivery is synchronous — client local steps take no time, and
+        the §IV-C model treats one evader move as atomically putting both
+        the shrink and the grow in transit (there is no observable state
+        between the ``left`` and the ``move``).
+        """
+        if event == "move":
+            self.moves_observed += 1
+        client = self.clients.get(region)
+        if client is not None and not client.failed:
+            client.handle_input(Action.input(event, region=region))
+            self.network.executor.kick(client)
+
+    # ------------------------------------------------------------------
+    # Find API
+    # ------------------------------------------------------------------
+    def issue_find(
+        self,
+        origin: RegionId,
+        retry_after: Optional[float] = None,
+        max_retries: int = 3,
+    ) -> int:
+        """Inject a find request at ``origin``'s client; returns the find id.
+
+        Args:
+            origin: Region whose client issues the query.
+            retry_after: If set, re-issue the (same) find every
+                ``retry_after`` time units until it completes or
+                ``max_retries`` re-issues have fired.  Useful under VSA
+                churn, where a find can die with a failed process.
+            max_retries: Cap on re-issues when ``retry_after`` is set.
+        """
+        client = self.clients[origin]
+        evader_region = self.evader.region if self.evader is not None else None
+        find_id = self.finds.new_find(origin, evader_region)
+        self.network.executor.deliver(
+            client, Action.input("find", find_id=find_id)
+        )
+        if retry_after is not None:
+            self._schedule_find_retry(origin, find_id, retry_after, max_retries)
+        return find_id
+
+    def _schedule_find_retry(
+        self, origin: RegionId, find_id: int, retry_after: float, retries_left: int
+    ) -> None:
+        if retries_left <= 0:
+            return
+
+        def retry() -> None:
+            record = self.finds.records[find_id]
+            if record.completed:
+                return
+            client = self.clients[origin]
+            if not client.failed:
+                self.network.executor.deliver(
+                    client, Action.input("find", find_id=find_id)
+                )
+                record.retries += 1
+            self._schedule_find_retry(
+                origin, find_id, retry_after, retries_left - 1
+            )
+
+        self.sim.call_after(retry_after, retry, tag=f"find-retry:{find_id}")
+
+    # ------------------------------------------------------------------
+    # Execution helpers
+    # ------------------------------------------------------------------
+    def run(self, duration: float) -> None:
+        self.sim.run_until(self.sim.now + duration)
+
+    def run_to_quiescence(self, max_events: Optional[int] = None) -> int:
+        """Drain all pending events (requires mobility to be stopped)."""
+        return self.sim.run(max_events=max_events)
+
+    def settle_time(self) -> float:
+        """An upper bound on the time for one move's updates to settle."""
+        from ..mobility.speed import atomic_dwell
+
+        return atomic_dwell(self.schedule, self.hierarchy.params, self.delta, self.e)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def snapshot(self) -> SystemSnapshot:
+        return capture_snapshot(self)
+
+    def tracker(self, clust: ClusterId) -> Tracker:
+        return self.trackers[clust]
+
+    def tracker_at(self, region: RegionId, level: int) -> Tracker:
+        return self.trackers[self.hierarchy.cluster(region, level)]

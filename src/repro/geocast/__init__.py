@@ -1,0 +1,6 @@
+"""Cluster geocast service C-gcast and its routing substrate (§II-C.3)."""
+
+from .cgcast import CGcast, SendObserver, SendRecord
+from .routing import GeocastRouter
+
+__all__ = ["CGcast", "GeocastRouter", "SendObserver", "SendRecord"]

@@ -1,0 +1,239 @@
+"""C-gcast: the cluster geocast service (§II-C.3).
+
+C-gcast lets the Tracker subautomaton hosted for cluster ``c`` at its
+head VSA exchange messages with other cluster processes and with
+clients.  Per the paper, when no VSAs fail over the broadcast period a
+message is received at *exactly* these times after sending:
+
+(a) level-l cluster → neighboring cluster:            ``(δ+e) · n(l)``
+(b) level-l cluster → parent, or level-(l+1) → child: ``(δ+e) · p(l)``
+(c) level-l cluster → neighbor of a neighbor:         ``(δ+e) · 2n(l)``
+(d) level-0 cluster → own/neighbor region clients:    ``δ+e``
+(e) client → its own/neighboring region's cluster:    ``δ``
+
+Pairs outside the enumerated relations (e.g. a find forwarded to a
+*neighbor's child*, reachable via a findAck pointer) are charged
+``(δ+e) · max(1, region-graph distance between the cluster heads)``,
+the same quantity the enumerated rules encode (see DESIGN.md §3.4).
+
+Work accounting: every VSA→VSA message costs its delay divided by
+``(δ+e)`` — i.e., the distance it traverses — matching the cost algebra
+of Theorems 4.9/5.2; client↔cluster messages cost 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional
+
+from ..geometry.regions import RegionId
+from ..hierarchy.cluster import ClusterId
+from ..hierarchy.hierarchy import ClusterHierarchy
+from ..sim.engine import Simulator
+from ..tioa.actions import Action
+from ..tioa.automaton import TimedAutomaton
+
+
+@dataclass(frozen=True)
+class SendRecord:
+    """One routed message, as seen by accounting subscribers.
+
+    Attributes:
+        time: Send time.
+        src: Sender (ClusterId, or region id for clients).
+        dest: Destination (ClusterId, or ``("clients", region)``).
+        payload: The message object.
+        cost: Charged communication work (region-graph distance units).
+        delay: End-to-end delivery delay.
+    """
+
+    time: float
+    src: Any
+    dest: Any
+    payload: Any
+    cost: float
+    delay: float
+
+
+# Subscriber for accounting: receives each SendRecord.
+SendObserver = Callable[[SendRecord], None]
+
+
+class CGcast:
+    """Cluster geocast over a hierarchy, with the exact §II-C.3 delays.
+
+    Args:
+        sim: The simulator.
+        hierarchy: Cluster hierarchy defining levels, parents, neighbors.
+        delta: Physical broadcast delay ``δ``.
+        e: VSA emulation lag ``e``.
+
+    Cluster processes register with :meth:`register_process`; client
+    receivers register per region with :meth:`register_client_sink`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        hierarchy: ClusterHierarchy,
+        delta: float = 1.0,
+        e: float = 0.0,
+    ) -> None:
+        if delta < 0 or e < 0:
+            raise ValueError("delta and e must be non-negative")
+        self.sim = sim
+        self.hierarchy = hierarchy
+        self.delta = delta
+        self.e = e
+        self._processes: Dict[ClusterId, TimedAutomaton] = {}
+        self._client_sinks: Dict[RegionId, List[Callable[[Any], None]]] = {}
+        self._observers: List[SendObserver] = []
+        self._deliver_fn: Optional[Callable] = None
+        self.messages_sent = 0
+        self.total_cost = 0.0
+        # Messages currently in transit: list of (src, dest, payload, deliver_time).
+        self._in_transit: List[list] = []
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register_process(self, clust: ClusterId, automaton: TimedAutomaton) -> None:
+        """Bind cluster ``clust``'s Tracker process."""
+        if clust in self._processes:
+            raise ValueError(f"process for {clust} already registered")
+        self._processes[clust] = automaton
+
+    def process(self, clust: ClusterId) -> TimedAutomaton:
+        try:
+            return self._processes[clust]
+        except KeyError:
+            raise KeyError(f"no process registered for {clust}") from None
+
+    def register_client_sink(
+        self, region: RegionId, sink: Callable[[Any], None]
+    ) -> None:
+        """Register a callback receiving client-bound messages in ``region``."""
+        self._client_sinks.setdefault(region, []).append(sink)
+
+    def observe(self, observer: SendObserver) -> None:
+        self._observers.append(observer)
+
+    def in_transit(self) -> List[tuple]:
+        """Snapshot of undelivered messages: ``(src, dest, payload, time)``."""
+        return [tuple(entry) for entry in self._in_transit]
+
+    # ------------------------------------------------------------------
+    # Delay / cost model
+    # ------------------------------------------------------------------
+    def vsa_distance_units(self, src: ClusterId, dest: ClusterId) -> int:
+        """Distance units of a VSA→VSA message per rules (a)-(c).
+
+        This is both the charged work and (times ``δ+e``) the delay.
+        """
+        h = self.hierarchy
+        params = h.params
+        if src.level == dest.level:
+            nbrs = h.nbrs(src)
+            if dest in nbrs:
+                return params.n(src.level)  # rule (a)
+            for nb in nbrs:
+                if dest in h.nbrs(nb):
+                    return 2 * params.n(src.level)  # rule (c)
+        elif dest.level == src.level + 1:
+            if h.parent(src) == dest:
+                return params.p(src.level)  # rule (b), upward
+        elif dest.level == src.level - 1:
+            if h.parent(dest) == src:
+                return params.p(dest.level)  # rule (b), downward
+        # Fallback: exact distance between heads (see module docstring).
+        return max(1, h.head_distance(src, dest))
+
+    def vsa_delay(self, src: ClusterId, dest: ClusterId) -> float:
+        """Exact delivery delay for a VSA→VSA message."""
+        return (self.delta + self.e) * self.vsa_distance_units(src, dest)
+
+    def vsa_cost(self, src: ClusterId, dest: ClusterId) -> float:
+        """Communication work charged for a VSA→VSA message."""
+        return float(self.vsa_distance_units(src, dest))
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send_vsa(self, src: ClusterId, dest: ClusterId, payload: Any) -> None:
+        """Cluster process ``src`` sends ``payload`` to cluster process ``dest``."""
+        units = self.vsa_distance_units(src, dest)
+        delay = (self.delta + self.e) * units
+        cost = float(units)
+        target = self.process(dest)
+        self._dispatch(src, dest, payload, delay, cost, lambda: self._deliver_vsa(target, payload, src))
+
+    def send_to_clients(self, src: ClusterId, payload: Any) -> None:
+        """Level-0 cluster broadcasts to its own region's clients (rule (d)).
+
+        §V's "clients in that and neighboring regions" coverage comes
+        from the Tracker relaying ``found`` to level-0 neighbor clusters,
+        which re-broadcast to their own regions (Fig. 2 lines 98-99).
+        """
+        if src.level != 0:
+            raise ValueError("only level-0 clusters broadcast to clients")
+        delay = self.delta + self.e  # rule (d)
+        region = self.hierarchy.head(src)
+
+        def deliver() -> None:
+            for sink in self._client_sinks.get(region, []):
+                sink(payload)
+
+        self._dispatch(src, ("clients", region), payload, delay, 1.0, deliver)
+
+    def send_from_client(
+        self, region: RegionId, dest: ClusterId, payload: Any
+    ) -> None:
+        """A client in ``region`` sends to its own/neighboring level-0 cluster."""
+        if dest.level != 0:
+            raise ValueError("clients send to level-0 clusters only")
+        dest_region = self.hierarchy.head(dest)
+        if dest_region != region and not self.hierarchy.tiling.are_neighbors(
+            region, dest_region
+        ):
+            raise ValueError(
+                f"client in {region!r} cannot reach cluster of {dest_region!r}"
+            )
+        delay = self.delta  # rule (e)
+        target = self.process(dest)
+        self._dispatch(region, dest, payload, delay, 1.0, lambda: self._deliver_vsa(target, payload, None))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _dispatch(
+        self,
+        src: Any,
+        dest: Any,
+        payload: Any,
+        delay: float,
+        cost: float,
+        deliver: Callable[[], None],
+    ) -> None:
+        self.messages_sent += 1
+        self.total_cost += cost
+        record = SendRecord(self.sim.now, src, dest, payload, cost, delay)
+        for observer in self._observers:
+            observer(record)
+        entry = [src, dest, payload, self.sim.now + delay]
+        self._in_transit.append(entry)
+
+        def fire() -> None:
+            self._in_transit.remove(entry)
+            deliver()
+
+        self.sim.call_after(delay, fire, tag="cgcast")
+
+    def _deliver_vsa(
+        self, target: TimedAutomaton, payload: Any, src: Optional[ClusterId]
+    ) -> None:
+        if target.failed:
+            return
+        action = Action.input("cTOBrcv", message=payload)
+        target.handle_input(action)
+        # Urgency: drain locally controlled actions of the receiver.
+        target.executor.kick(target)

@@ -1,0 +1,114 @@
+"""Agglomerative hierarchy construction for arbitrary tilings.
+
+The paper generalizes STALK's cluster definitions to *any* clustering
+meeting §II-B; grids and strips have closed-form instances, but a user
+with an irregular region graph (a hex map, a road network) needs a
+constructor.  :func:`build_agglomerative_hierarchy` contracts the
+cluster graph level by level: each round greedily merges every cluster
+with up to ``ratio − 1`` unmerged neighbors (breadth-first, minimum-id
+order), which guarantees the structural requirements (connected
+clusters, nesting, a single top).  Geometry parameters are *measured*
+(:func:`~repro.hierarchy.params.tight_params`) rather than closed-form.
+
+The §II-B geometry assumptions (notably proximity) are not guaranteed
+for arbitrary graphs — run :func:`~repro.hierarchy.validation.validate_hierarchy`
+when the work bounds matter.  VINESTALK's *safety* (path maintenance,
+finds terminating at the evader) does not depend on them, which the hex
+integration tests demonstrate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List
+
+from ..geometry.regions import RegionId
+from ..geometry.tiling import Tiling
+from .hierarchy import ExplicitHierarchy, singleton_level_map
+from .params import GeometryParams, tight_params
+
+
+def build_agglomerative_hierarchy(
+    tiling: Tiling, ratio: int = 3, max_levels: int = 32
+) -> ExplicitHierarchy:
+    """Build a hierarchy over ``tiling`` by repeated neighbor merging.
+
+    Args:
+        tiling: Any validated tiling.
+        ratio: Target children per parent (merge group size).
+        max_levels: Safety bound on hierarchy depth.
+
+    Returns:
+        An :class:`ExplicitHierarchy` with measured geometry parameters.
+    """
+    if ratio < 2:
+        raise ValueError("ratio must be >= 2")
+    regions = tiling.regions()
+    level_maps: List[Dict[RegionId, Hashable]] = [singleton_level_map(tiling)]
+
+    # Current clustering: cluster key -> member regions, plus adjacency.
+    members: Dict[Hashable, List[RegionId]] = {u: [u] for u in regions}
+
+    def cluster_adjacency() -> Dict[Hashable, set]:
+        owner = {}
+        for key, mems in members.items():
+            for u in mems:
+                owner[u] = key
+        adj: Dict[Hashable, set] = {key: set() for key in members}
+        for u in regions:
+            for v in tiling.neighbors(u):
+                if owner[u] != owner[v]:
+                    adj[owner[u]].add(owner[v])
+        return adj
+
+    level = 0
+    while len(members) > 1:
+        level += 1
+        if level > max_levels:
+            raise RuntimeError("hierarchy construction did not converge")
+        adj = cluster_adjacency()
+        assignment: Dict[Hashable, int] = {}
+        next_parent = 0
+        for key in sorted(members):
+            if key in assignment:
+                continue
+            parent = next_parent
+            next_parent += 1
+            assignment[key] = parent
+            group = 1
+            # Greedy BFS over unmerged neighbors, minimum key first.
+            frontier = [key]
+            while frontier and group < ratio:
+                current = frontier.pop(0)
+                for nbr in sorted(adj[current]):
+                    if nbr in assignment or group >= ratio:
+                        continue
+                    assignment[nbr] = parent
+                    group += 1
+                    frontier.append(nbr)
+        new_members: Dict[Hashable, List[RegionId]] = {}
+        for key, parent in assignment.items():
+            new_members.setdefault(parent, []).extend(members[key])
+        members = new_members
+        level_maps.append(
+            {
+                u: parent
+                for parent, mems in members.items()
+                for u in mems
+            }
+        )
+
+    if len(level_maps) < 2:
+        raise ValueError("tiling has a single region; no hierarchy to build")
+
+    # Placeholder params so ExplicitHierarchy can assemble, then measure.
+    max_level = len(level_maps) - 1
+    placeholder = GeometryParams(
+        max_level,
+        tuple(1 for _ in range(max_level + 1)),
+        tuple(1 for _ in range(max_level + 1)),
+        tuple(1 for _ in range(max_level + 1)),
+        tuple(1 for _ in range(max_level + 1)),
+    )
+    hierarchy = ExplicitHierarchy(tiling, level_maps, placeholder)
+    hierarchy.params = tight_params(hierarchy)
+    return hierarchy

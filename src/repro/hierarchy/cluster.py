@@ -1,0 +1,29 @@
+"""Cluster identifiers (§II-B).
+
+A cluster id pairs its level with a level-unique key.  For the grid
+hierarchy the key is the ``(block_col, block_row)`` coordinate of the
+``r^level``-sized block; generic hierarchies may use any hashable key.
+Cluster ids are ordered (level first), which gives deterministic
+iteration everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+
+@dataclass(frozen=True, order=True)
+class ClusterId:
+    """Identifier of one cluster in the hierarchy.
+
+    Attributes:
+        level: Hierarchy level of the cluster (0 .. MAX).
+        key: Level-unique key distinguishing clusters at this level.
+    """
+
+    level: int
+    key: Hashable
+
+    def __repr__(self) -> str:
+        return f"C{self.level}:{self.key}"

@@ -1,0 +1,83 @@
+"""Base-``r`` grid hierarchy (§II-B example).
+
+Unit squares are grouped into ``r × r`` level-1 blocks, those into
+``r² × r²`` level-2 blocks, and so on up to a single level-MAX cluster.
+Blocks sharing an edge or a corner are neighbors, so ``ω(l) = 8`` and the
+closed forms ``MAX = ⌈log_r(D+1)⌉``, ``n(l) = 2r^l − 1``,
+``p(l) = r^{l+1} − 1`` and ``q(l) = r^l`` hold.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Optional
+
+from ..geometry.regions import RegionId
+from ..geometry.tiling import GridTiling
+from .cluster import ClusterId
+from .hierarchy import ExplicitHierarchy, singleton_level_map
+from .params import grid_params
+
+
+class GridHierarchy(ExplicitHierarchy):
+    """Hierarchical base-``r`` partition of a square :class:`GridTiling`.
+
+    Args:
+        tiling: A square grid tiling whose side is ``r ** max_level``.
+        r: Grid base (block fan-out per axis), at least 2.
+
+    The level-``l`` cluster of region ``(col, row)`` is the block
+    ``(col // r^l, row // r^l)``.
+    """
+
+    def __init__(self, tiling: GridTiling, r: int) -> None:
+        if r < 2:
+            raise ValueError("grid base r must be >= 2")
+        if tiling.width != tiling.height:
+            raise ValueError("GridHierarchy requires a square tiling")
+        side = tiling.width
+        max_level = round(math.log(side, r))
+        if r**max_level != side:
+            raise ValueError(
+                f"tiling side {side} is not a power of r={r}; "
+                f"use grid_hierarchy(r, max_level) to build a matching world"
+            )
+        if max_level < 1:
+            raise ValueError("side must be at least r (MAX > 0)")
+        self.r = r
+
+        level_maps: List[Dict[RegionId, Hashable]] = [singleton_level_map(tiling)]
+        for level in range(1, max_level + 1):
+            block = r**level
+            level_maps.append(
+                {u: (u[0] // block, u[1] // block) for u in tiling.regions()}
+            )
+        super().__init__(tiling, level_maps, grid_params(r, max_level))
+
+    # Closed-form overrides (the generic versions are correct but slower).
+    def cluster(self, u: RegionId, level: int) -> ClusterId:
+        if not 0 <= level <= self.max_level:
+            raise ValueError(f"level {level} outside 0..{self.max_level}")
+        if level == 0:
+            return ClusterId(0, u)
+        block = self.r**level
+        return ClusterId(level, (u[0] // block, u[1] // block))
+
+    def parent(self, c: ClusterId) -> Optional[ClusterId]:
+        if c.level == self.max_level:
+            return None
+        col, row = c.key  # level-0 keys are region ids, which are also pairs
+        return ClusterId(c.level + 1, (col // self.r, row // self.r))
+
+
+def grid_hierarchy(r: int, max_level: int) -> GridHierarchy:
+    """Build a fresh ``r^max_level``-sided grid world and its hierarchy."""
+    if max_level < 1:
+        raise ValueError("max_level must be >= 1")
+    tiling = GridTiling(r**max_level)
+    return GridHierarchy(tiling, r)
+
+
+def diameter_of(hierarchy: GridHierarchy) -> int:
+    """Network diameter ``D`` of the hierarchy's world."""
+    return hierarchy.tiling.diameter()

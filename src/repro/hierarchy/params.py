@@ -1,0 +1,170 @@
+"""Geometry parameter functions ``n, p, q, ω`` (§II-B).
+
+The paper characterises a clustering by four functions of the level:
+
+* ``n(l)``  — max distance from a member of a level-l cluster to any
+  member of a *neighboring* level-l cluster,
+* ``p(l)``  — max distance from a member of a level-l cluster to any
+  member of its level-(l+1) parent cluster,
+* ``q(l)``  — coverage radius: every region within ``q(l)`` of a level-l
+  cluster lies in that cluster or one of its neighbors,
+* ``ω(l)``  — max number of neighbors of a level-l cluster.
+
+:class:`GeometryParams` bundles concrete values and validates the
+paper's standing assumptions; :func:`grid_params` produces the closed
+forms of the base-``r`` grid example; :func:`tight_params` measures the
+tight values of an arbitrary hierarchy by brute force (used by the
+validation tests to confirm the closed forms are sound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+
+@dataclass(frozen=True)
+class GeometryParams:
+    """Concrete per-level geometry parameters.
+
+    Values are stored for levels ``0 .. max_level``; ``n``/``p`` are only
+    meaningful below ``max_level`` (there is no neighbor or parent at the
+    top) but are stored with a final padded entry for uniform indexing.
+    """
+
+    max_level: int
+    n_values: tuple
+    p_values: tuple
+    q_values: tuple
+    omega_values: tuple
+
+    def n(self, level: int) -> int:
+        return self.n_values[self._check(level)]
+
+    def p(self, level: int) -> int:
+        return self.p_values[self._check(level)]
+
+    def q(self, level: int) -> int:
+        return self.q_values[self._check(level)]
+
+    def omega(self, level: int) -> int:
+        return self.omega_values[self._check(level)]
+
+    def _check(self, level: int) -> int:
+        if not 0 <= level <= self.max_level:
+            raise ValueError(f"level {level} outside 0..{self.max_level}")
+        return level
+
+    def validate(self) -> None:
+        """Check the standing assumptions of §II-B.
+
+        Raises:
+            ValueError: on any violated assumption, naming it.
+        """
+        if self.max_level < 1:
+            raise ValueError("MAX must be > 0")
+        sizes = {
+            "n": len(self.n_values),
+            "p": len(self.p_values),
+            "q": len(self.q_values),
+            "omega": len(self.omega_values),
+        }
+        for name, size in sizes.items():
+            if size != self.max_level + 1:
+                raise ValueError(f"{name}_values must have MAX+1 entries, got {size}")
+        if self.q_values[0] != 1:
+            raise ValueError(f"q(0) must be 1, got {self.q_values[0]}")
+        for l in range(self.max_level):
+            if self.q_values[l] > self.n_values[l]:
+                raise ValueError(f"q({l}) > n({l})")
+            if l + 1 <= self.max_level - 1 and self.n_values[l] > self.n_values[l + 1]:
+                raise ValueError(f"n({l}) > n({l + 1})")
+            if l + 1 <= self.max_level - 1 and self.p_values[l] > self.p_values[l + 1]:
+                raise ValueError(f"p({l}) > p({l + 1})")
+            if l + 1 <= self.max_level - 1 and self.p_values[l] > self.n_values[l + 1]:
+                raise ValueError(f"p({l}) > n({l + 1})")
+            if l >= 1 and 2 * self.q_values[l - 1] > self.q_values[l]:
+                raise ValueError(f"2*q({l - 1}) > q({l})")
+
+
+def grid_params(r: int, max_level: int) -> GeometryParams:
+    """Closed-form parameters for the base-``r`` grid hierarchy (§II-B).
+
+    ``n(l) = 2r^l − 1``, ``p(l) = r^{l+1} − 1``, ``q(l) = r^l``,
+    ``ω(l) = 8``.
+    """
+    if r < 2:
+        raise ValueError("grid base r must be >= 2")
+    if max_level < 1:
+        raise ValueError("MAX must be > 0")
+    levels = range(max_level + 1)
+    n_vals = tuple(2 * r**l - 1 for l in levels)
+    p_vals = tuple(r ** (l + 1) - 1 for l in levels)
+    q_vals = tuple(r**l for l in levels)
+    omega_vals = tuple(8 for _ in levels)
+    params = GeometryParams(max_level, n_vals, p_vals, q_vals, omega_vals)
+    params.validate()
+    return params
+
+
+def tight_params(hierarchy) -> GeometryParams:
+    """Measure the tight ``n, p, q, ω`` of a hierarchy by brute force.
+
+    Intended for validation on small hierarchies: cost is roughly
+    ``O(|U|^2 · MAX)``.
+
+    Args:
+        hierarchy: A :class:`~repro.hierarchy.hierarchy.ClusterHierarchy`.
+    """
+    tiling = hierarchy.tiling
+    max_level = hierarchy.max_level
+    regions = tiling.regions()
+
+    n_vals: List[int] = []
+    p_vals: List[int] = []
+    q_vals: List[int] = []
+    omega_vals: List[int] = []
+    for level in range(max_level + 1):
+        clusters = hierarchy.clusters_at_level(level)
+        omega_vals.append(
+            max((len(hierarchy.nbrs(c)) for c in clusters), default=0)
+        )
+        n_best = 0
+        p_best = 0
+        q_best_candidates: List[int] = []
+        for c in clusters:
+            members = hierarchy.members(c)
+            if level != max_level:
+                for other in hierarchy.nbrs(c):
+                    for u in members:
+                        for v in hierarchy.members(other):
+                            n_best = max(n_best, tiling.distance(u, v))
+                parent = hierarchy.parent(c)
+                for u in members:
+                    for v in hierarchy.members(parent):
+                        p_best = max(p_best, tiling.distance(u, v))
+            # q(l): the largest radius such that every region within it is
+            # in c or a neighbor of c.
+            allowed = set(members)
+            for other in hierarchy.nbrs(c):
+                allowed.update(hierarchy.members(other))
+            min_outside = None
+            for v in regions:
+                if v in allowed:
+                    continue
+                dist = min(tiling.distance(v, u) for u in members)
+                if min_outside is None or dist < min_outside:
+                    min_outside = dist
+            if min_outside is not None:
+                q_best_candidates.append(min_outside - 1)
+        n_vals.append(n_best)
+        p_vals.append(p_best)
+        if q_best_candidates:
+            q_vals.append(max(min(q_best_candidates), 1 if level == 0 else 0))
+        else:
+            # Cluster plus neighbors covers everything: radius is unbounded;
+            # cap at the diameter.
+            q_vals.append(tiling.diameter())
+    return GeometryParams(
+        max_level, tuple(n_vals), tuple(p_vals), tuple(q_vals), tuple(omega_vals)
+    )

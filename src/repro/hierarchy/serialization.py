@@ -1,0 +1,151 @@
+"""Serialization of tilings and hierarchies to/from JSON-able dicts.
+
+Worlds are often built once (or produced by an external planner) and
+reused across experiments; these helpers round-trip the supported
+tilings and any :class:`~repro.hierarchy.hierarchy.ExplicitHierarchy`
+(including grid, strip and agglomeratively built ones) through plain
+dictionaries, so they can be stored as JSON files.
+
+Region ids and cluster keys are encoded structurally: ints, strings and
+(nested) lists/tuples of those survive the round-trip; tuples are
+restored as tuples (JSON arrays are otherwise indistinguishable).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from ..geometry.hex import HexTiling
+from ..geometry.tiling import GraphTiling, GridTiling, Tiling
+from ..geometry.points import Point
+from .grid import GridHierarchy
+from .hierarchy import ClusterHierarchy, ExplicitHierarchy
+from .params import GeometryParams
+from .strip import StripHierarchy
+
+
+def _encode_key(value: Any) -> Any:
+    if isinstance(value, tuple):
+        return {"t": [_encode_key(v) for v in value]}
+    if isinstance(value, list):
+        return {"l": [_encode_key(v) for v in value]}
+    return value
+
+
+def _decode_key(value: Any) -> Any:
+    if isinstance(value, dict) and "t" in value:
+        return tuple(_decode_key(v) for v in value["t"])
+    if isinstance(value, dict) and "l" in value:
+        return [_decode_key(v) for v in value["l"]]
+    return value
+
+
+# ----------------------------------------------------------------------
+# Tilings
+# ----------------------------------------------------------------------
+def tiling_to_dict(tiling: Tiling) -> Dict[str, Any]:
+    """Serialize a tiling (grid/hex natively, anything else as a graph)."""
+    if isinstance(tiling, GridTiling):
+        return {"kind": "grid", "width": tiling.width, "height": tiling.height}
+    if isinstance(tiling, HexTiling):
+        return {"kind": "hex", "radius": tiling.radius}
+    return {
+        "kind": "graph",
+        "adjacency": [
+            [_encode_key(rid), [_encode_key(n) for n in tiling.neighbors(rid)]]
+            for rid in tiling.regions()
+        ],
+        "centers": [
+            [_encode_key(rid),
+             [tiling.region(rid).center.x, tiling.region(rid).center.y]]
+            for rid in tiling.regions()
+        ],
+    }
+
+
+def tiling_from_dict(data: Dict[str, Any]) -> Tiling:
+    kind = data.get("kind")
+    if kind == "grid":
+        return GridTiling(data["width"], data["height"])
+    if kind == "hex":
+        return HexTiling(data["radius"])
+    if kind == "graph":
+        adjacency = {
+            _decode_key(rid): [_decode_key(n) for n in nbrs]
+            for rid, nbrs in data["adjacency"]
+        }
+        centers = {
+            _decode_key(rid): Point(x, y) for rid, (x, y) in data["centers"]
+        }
+        return GraphTiling(adjacency, centers)
+    raise ValueError(f"unknown tiling kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Hierarchies
+# ----------------------------------------------------------------------
+def hierarchy_to_dict(hierarchy: ClusterHierarchy) -> Dict[str, Any]:
+    """Serialize any hierarchy as explicit level maps + parameters."""
+    level_maps = []
+    for level in hierarchy.levels():
+        level_maps.append(
+            [
+                [_encode_key(u), _encode_key(hierarchy.cluster(u, level).key)]
+                for u in hierarchy.tiling.regions()
+            ]
+        )
+    heads = [
+        [[c.level, _encode_key(c.key)], _encode_key(hierarchy.head(c))]
+        for c in hierarchy.all_clusters()
+    ]
+    params = hierarchy.params
+    return {
+        "tiling": tiling_to_dict(hierarchy.tiling),
+        "level_maps": level_maps,
+        "heads": heads,
+        "params": {
+            "max_level": params.max_level,
+            "n": list(params.n_values),
+            "p": list(params.p_values),
+            "q": list(params.q_values),
+            "omega": list(params.omega_values),
+        },
+        "grid_base": getattr(hierarchy, "r", None),
+    }
+
+
+def hierarchy_from_dict(data: Dict[str, Any]) -> ExplicitHierarchy:
+    """Rebuild an :class:`ExplicitHierarchy` from :func:`hierarchy_to_dict`."""
+    tiling = tiling_from_dict(data["tiling"])
+    level_maps = [
+        {_decode_key(u): _decode_key(key) for u, key in mapping}
+        for mapping in data["level_maps"]
+    ]
+    p = data["params"]
+    params = GeometryParams(
+        p["max_level"], tuple(p["n"]), tuple(p["p"]),
+        tuple(p["q"]), tuple(p["omega"]),
+    )
+    from .cluster import ClusterId
+
+    heads = {
+        ClusterId(level, _decode_key(key)): _decode_key(head)
+        for (level, key), head in data["heads"]
+    }
+    hierarchy = ExplicitHierarchy(tiling, level_maps, params, heads=heads)
+    if data.get("grid_base") is not None:
+        hierarchy.r = data["grid_base"]  # restores schedule defaulting
+    return hierarchy
+
+
+def save_hierarchy(hierarchy: ClusterHierarchy, path: str) -> None:
+    """Write a hierarchy (and its world) to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(hierarchy_to_dict(hierarchy), handle)
+
+
+def load_hierarchy(path: str) -> ExplicitHierarchy:
+    """Read a hierarchy back from :func:`save_hierarchy` output."""
+    with open(path) as handle:
+        return hierarchy_from_dict(json.load(handle))

@@ -1,0 +1,77 @@
+"""Base-``r`` strip hierarchy over a line tiling.
+
+The paper's contribution includes *generalizing* STALK's cluster
+definitions: any clustering satisfying §II-B works, not just grids.
+This module provides a second concrete hierarchy — segments of a 1-D
+corridor (a road, a pipeline, a border fence) — exercising that
+generality: level-``l`` clusters are segments of ``r^l`` consecutive
+regions, each segment has at most two neighbors (``ω(l) = 2``), and
+
+    ``n(l) = 2r^l − 1``,  ``p(l) = r^{l+1} − 1``,  ``q(l) = r^l``.
+
+Because :class:`StripHierarchy` exposes a grid-style base ``r``, the
+default Eq. (1) timer schedule applies unchanged, and the full VINESTALK
+stack runs on it without modification (see the strip integration tests).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List
+
+from ..geometry.regions import RegionId
+from ..geometry.tiling import GraphTiling, line_tiling
+from .hierarchy import ExplicitHierarchy, singleton_level_map
+from .params import GeometryParams
+
+
+def strip_params(r: int, max_level: int) -> GeometryParams:
+    """Closed-form §II-B parameters of the base-``r`` strip."""
+    if r < 2:
+        raise ValueError("strip base r must be >= 2")
+    if max_level < 1:
+        raise ValueError("MAX must be > 0")
+    levels = range(max_level + 1)
+    params = GeometryParams(
+        max_level,
+        tuple(2 * r**l - 1 for l in levels),
+        tuple(r ** (l + 1) - 1 for l in levels),
+        tuple(r**l for l in levels),
+        tuple(2 for _ in levels),
+    )
+    params.validate()
+    return params
+
+
+class StripHierarchy(ExplicitHierarchy):
+    """Hierarchical base-``r`` segmentation of a line of ``r^max_level`` regions."""
+
+    def __init__(self, tiling: GraphTiling, r: int) -> None:
+        if r < 2:
+            raise ValueError("strip base r must be >= 2")
+        regions = tiling.regions()
+        length = len(regions)
+        max_level = 0
+        size = 1
+        while size < length:
+            size *= r
+            max_level += 1
+        if size != length:
+            raise ValueError(
+                f"strip length {length} is not a power of r={r}; "
+                f"use strip_hierarchy(r, max_level)"
+            )
+        if max_level < 1:
+            raise ValueError("length must be at least r (MAX > 0)")
+        self.r = r
+        level_maps: List[Dict[RegionId, Hashable]] = [singleton_level_map(tiling)]
+        for level in range(1, max_level + 1):
+            segment = r**level
+            level_maps.append({u: u // segment for u in regions})
+        super().__init__(tiling, level_maps, strip_params(r, max_level))
+
+
+def strip_hierarchy(r: int, max_level: int) -> StripHierarchy:
+    """Build a fresh ``r^max_level``-region corridor and its hierarchy."""
+    if max_level < 1:
+        raise ValueError("max_level must be >= 1")
+    return StripHierarchy(line_tiling(r**max_level), r)

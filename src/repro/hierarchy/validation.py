@@ -1,0 +1,217 @@
+"""Hierarchy validation: structural requirements and geometry assumptions (§II-B).
+
+:func:`validate_structure` checks requirements 1–6 of §II-B;
+:func:`validate_geometry` checks the declared parameter functions
+``n, p, q, ω`` against the actual clustering (assumptions 2–5) and the
+derived relationships; :func:`validate_proximity` checks the proximity
+requirement (assumption 1) by computing, for each top cluster, the
+downward closure of "contained or has a contained neighbor" chains.
+
+All checks raise :class:`HierarchyValidationError` with a description of
+the first violated condition.  They are exhaustive and intended for
+tests and world-construction time, not inner loops.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from .cluster import ClusterId
+from .hierarchy import ClusterHierarchy
+
+
+class HierarchyValidationError(ValueError):
+    """A hierarchy violates a §II-B requirement."""
+
+
+def validate_structure(h: ClusterHierarchy) -> None:
+    """Requirements 1–6 of §II-B."""
+    regions = h.tiling.regions()
+    if h.max_level < 1:
+        raise HierarchyValidationError("MAX must be > 0")
+
+    # Requirement 2: exactly one level-MAX cluster, and it covers everything.
+    tops = h.clusters_at_level(h.max_level)
+    if len(tops) != 1:
+        raise HierarchyValidationError(f"{len(tops)} level-MAX clusters, want 1")
+    if sorted(h.members(tops[0])) != sorted(regions):
+        raise HierarchyValidationError("level-MAX cluster does not cover all regions")
+
+    # Requirement 3: singleton level-0 clusters.
+    for u in regions:
+        c0 = h.cluster(u, 0)
+        if h.members(c0) != [u]:
+            raise HierarchyValidationError(f"level-0 cluster of {u!r} is not {{u}}")
+
+    seen_ids: Set[ClusterId] = set()
+    for level in h.levels():
+        clusters = h.clusters_at_level(level)
+        covered: dict = {}
+        for c in clusters:
+            # Requirement 1: each cluster belongs to exactly one level.
+            if c in seen_ids:
+                raise HierarchyValidationError(f"cluster {c} appears at two levels")
+            seen_ids.add(c)
+            if c.level != level:
+                raise HierarchyValidationError(f"cluster {c} listed at level {level}")
+            members = h.members(c)
+            if not members:
+                raise HierarchyValidationError(f"cluster {c} has no members")
+            # Requirement 4: same-level clusters don't overlap
+            # (shared boundary regions are resolved to one cluster by the
+            # minimum-id rule of §II-A, so membership must be a partition).
+            for u in members:
+                if u in covered:
+                    raise HierarchyValidationError(
+                        f"region {u!r} in clusters {covered[u]} and {c} at level {level}"
+                    )
+                covered[u] = c
+                if h.cluster(u, level) != c:
+                    raise HierarchyValidationError(
+                        f"cluster({u!r},{level}) disagrees with membership of {c}"
+                    )
+            # Requirement 6: head is a member.
+            if h.head(c) not in members:
+                raise HierarchyValidationError(f"head of {c} is not a member")
+            # Connectivity of the cluster in the region graph.
+            _check_connected(h, c)
+        if sorted(covered) != sorted(regions):
+            raise HierarchyValidationError(f"level {level} does not cover all regions")
+
+    # Requirement 5: same level-l cluster implies same level-(l+1) cluster.
+    for level in range(h.max_level):
+        for c in h.clusters_at_level(level):
+            members = h.members(c)
+            parents = {h.cluster(u, level + 1) for u in members}
+            if len(parents) != 1:
+                raise HierarchyValidationError(
+                    f"members of {c} split across parents {sorted(parents)}"
+                )
+            parent = parents.pop()
+            if h.parent(c) != parent:
+                raise HierarchyValidationError(f"parent({c}) inconsistent")
+            if c not in h.children(parent):
+                raise HierarchyValidationError(f"{c} missing from children({parent})")
+
+
+def _check_connected(h: ClusterHierarchy, c: ClusterId) -> None:
+    members = h.members(c)
+    member_set = set(members)
+    seen = {members[0]}
+    stack = [members[0]]
+    while stack:
+        cur = stack.pop()
+        for nxt in h.tiling.neighbors(cur):
+            if nxt in member_set and nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+    if seen != member_set:
+        raise HierarchyValidationError(f"cluster {c} is not connected")
+
+
+def validate_geometry(h: ClusterHierarchy) -> None:
+    """Geometry assumptions 2–5 of §II-B against declared ``n, p, q, ω``."""
+    params = h.params
+    params.validate()
+    if params.max_level != h.max_level:
+        raise HierarchyValidationError("params.max_level != hierarchy.max_level")
+    tiling = h.tiling
+    for level in h.levels():
+        for c in h.clusters_at_level(level):
+            nbrs = h.nbrs(c)
+            if len(nbrs) > params.omega(level):
+                raise HierarchyValidationError(
+                    f"{c} has {len(nbrs)} neighbors > ω({level})={params.omega(level)}"
+                )
+            members = h.members(c)
+            if level != h.max_level:
+                for other in nbrs:
+                    for u in members:
+                        for v in h.members(other):
+                            if tiling.distance(u, v) > params.n(level):
+                                raise HierarchyValidationError(
+                                    f"members {u!r},{v!r} of {c},{other} exceed n({level})"
+                                )
+                parent = h.parent(c)
+                for u in members:
+                    for v in h.members(parent):
+                        if tiling.distance(u, v) > params.p(level):
+                            raise HierarchyValidationError(
+                                f"member {u!r} of {c} is >p({level}) from parent member {v!r}"
+                            )
+            allowed = set(members)
+            for other in nbrs:
+                allowed.update(h.members(other))
+            radius = params.q(level)
+            for v in tiling.regions():
+                if v in allowed:
+                    continue
+                dist = min(tiling.distance(v, u) for u in members)
+                if dist <= radius:
+                    raise HierarchyValidationError(
+                        f"region {v!r} within q({level})={radius} of {c} "
+                        f"but outside the cluster and its neighbors"
+                    )
+
+
+def validate_proximity(h: ClusterHierarchy) -> None:
+    """Proximity requirement (geometry assumption 1 of §II-B).
+
+    For every descending chain ``c_l, …, c_k`` in which each ``c_j``
+    (j < l) is contained in ``c_{j+1}`` or has a neighbor contained in
+    ``c_{j+1}``, every region neighboring a member of ``c_k`` must have
+    its level-``l`` cluster in ``{c_l} ∪ nbrs(c_l)``.
+
+    We compute, per starting cluster ``c_l``, the set of clusters
+    reachable by such chains (downward closure), then check the frontier
+    condition for every reached cluster.
+    """
+    for l in range(1, h.max_level + 1):
+        for top in h.clusters_at_level(l):
+            allowed = {top} | set(h.nbrs(top))
+            reached: Set[ClusterId] = {top}
+            frontier: List[ClusterId] = [top]
+            while frontier:
+                nxt_frontier: List[ClusterId] = []
+                for cj1 in frontier:
+                    if cj1.level == 0:
+                        continue
+                    for child in h.children(cj1):
+                        # chains extend to any cluster that is the child
+                        # itself or a neighbor of a contained child
+                        candidates = [child] + h.nbrs(child)
+                        for cj in candidates:
+                            if cj in reached:
+                                continue
+                            # cj qualifies iff cj or one of its neighbors is
+                            # contained in cj1 — i.e. is a child of cj1.
+                            if _qualifies(h, cj, cj1):
+                                reached.add(cj)
+                                nxt_frontier.append(cj)
+                frontier = nxt_frontier
+            for ck in reached:
+                for u in h.members(ck):
+                    for v in h.tiling.neighbors(u):
+                        if h.cluster(v, l) not in allowed:
+                            raise HierarchyValidationError(
+                                f"proximity violated: chain from {top} reaches {ck}; "
+                                f"region {v!r} (nbr of {u!r}) is in "
+                                f"{h.cluster(v, l)} ∉ {{{top}}} ∪ nbrs"
+                            )
+
+
+def _qualifies(h: ClusterHierarchy, cj: ClusterId, cj1: ClusterId) -> bool:
+    """True iff ``cj`` or one of its neighbors is a child of ``cj1``."""
+    children = set(h.children(cj1))
+    if cj in children:
+        return True
+    return any(nb in children for nb in h.nbrs(cj))
+
+
+def validate_hierarchy(h: ClusterHierarchy, proximity: bool = True) -> None:
+    """Run all validations (structure, geometry, optionally proximity)."""
+    h.tiling.validate()
+    validate_structure(h)
+    validate_geometry(h)
+    if proximity:
+        validate_proximity(h)

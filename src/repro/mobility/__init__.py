@@ -1,0 +1,30 @@
+"""Evader mobility: models, the mobile object, speed restrictions (§III, §VI)."""
+
+from .evader import Evader, EvaderObserver
+from .models import (
+    BoundaryOscillator,
+    FixedPath,
+    Lawnmower,
+    MobilityModel,
+    RandomNeighborWalk,
+    Stationary,
+    WaypointWalk,
+    worst_boundary_pair,
+)
+from .speed import atomic_dwell, concurrent_dwell, level_update_time
+
+__all__ = [
+    "BoundaryOscillator",
+    "Evader",
+    "EvaderObserver",
+    "FixedPath",
+    "Lawnmower",
+    "MobilityModel",
+    "RandomNeighborWalk",
+    "Stationary",
+    "WaypointWalk",
+    "atomic_dwell",
+    "concurrent_dwell",
+    "level_update_time",
+    "worst_boundary_pair",
+]

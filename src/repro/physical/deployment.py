@@ -1,0 +1,88 @@
+"""Node deployment generators.
+
+Helpers that place :class:`~repro.physical.node.PhysicalNode` fleets
+over a tiling: one node per region (guaranteeing every VSA is
+emulatable), a uniformly random scatter, or a density-based deployment.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from ..geometry.tiling import Tiling
+from ..mobility.models import MobilityModel
+from ..sim.engine import Simulator
+from .node import PhysicalNode
+
+
+def one_per_region(
+    sim: Simulator,
+    tiling: Tiling,
+    model: Optional[MobilityModel] = None,
+    dwell: float = 1.0,
+    start_id: int = 0,
+) -> List[PhysicalNode]:
+    """One (static by default) node in every region."""
+    nodes = []
+    for offset, region in enumerate(tiling.regions()):
+        nodes.append(
+            PhysicalNode(
+                start_id + offset,
+                sim,
+                tiling,
+                region,
+                model=model,
+                dwell=dwell,
+            )
+        )
+    return nodes
+
+
+def uniform_random(
+    sim: Simulator,
+    tiling: Tiling,
+    count: int,
+    rng: random.Random,
+    model: Optional[MobilityModel] = None,
+    dwell: float = 1.0,
+    start_id: int = 0,
+) -> List[PhysicalNode]:
+    """``count`` nodes placed in uniformly random regions."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    regions = tiling.regions()
+    return [
+        PhysicalNode(
+            start_id + i,
+            sim,
+            tiling,
+            rng.choice(regions),
+            model=model,
+            dwell=dwell,
+            rng=random.Random(rng.random()),
+        )
+        for i in range(count)
+    ]
+
+
+def per_region_density(
+    sim: Simulator,
+    tiling: Tiling,
+    nodes_per_region: int,
+    model: Optional[MobilityModel] = None,
+    dwell: float = 1.0,
+    start_id: int = 0,
+) -> List[PhysicalNode]:
+    """Exactly ``nodes_per_region`` nodes in every region."""
+    if nodes_per_region < 0:
+        raise ValueError("nodes_per_region must be non-negative")
+    nodes = []
+    next_id = start_id
+    for region in tiling.regions():
+        for _ in range(nodes_per_region):
+            nodes.append(
+                PhysicalNode(next_id, sim, tiling, region, model=model, dwell=dwell)
+            )
+            next_id += 1
+    return nodes

@@ -1,0 +1,71 @@
+"""Local broadcast radio (the physical basis of V-bcast).
+
+A message broadcast by a node (or by a VSA emulation anchored in a
+region) is delivered after delay ``δ`` to every alive node currently in
+the same or a neighboring region — §II-C assumes the supremum distance
+between points of neighboring regions is within the physical broadcast
+radius, so region adjacency *is* the reachability relation.
+
+Delivery snapshots the recipient set at *send* time plus transit: a node
+that leaves the neighborhood mid-flight still receives iff it is within
+the neighborhood at delivery time (we re-check at delivery, the
+conservative choice for a real radio).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from ..geometry.regions import RegionId
+from ..geometry.tiling import Tiling
+from ..sim.engine import Simulator
+from .node import PhysicalNode
+
+# A receiver callback gets (message, source_region).
+Receiver = Callable[[Any, RegionId], None]
+
+
+class Radio:
+    """Broadcast service with per-hop delay ``δ`` over the region graph."""
+
+    def __init__(self, sim: Simulator, tiling: Tiling, delta: float) -> None:
+        if delta < 0:
+            raise ValueError("delta must be non-negative")
+        self.sim = sim
+        self.tiling = tiling
+        self.delta = delta
+        self._nodes: Dict[int, PhysicalNode] = {}
+        self._receivers: Dict[int, Receiver] = {}
+        self.broadcasts_sent = 0
+        self.deliveries = 0
+
+    def register(self, node: PhysicalNode, receiver: Receiver) -> None:
+        """Attach a node with its receive callback."""
+        self._nodes[node.node_id] = node
+        self._receivers[node.node_id] = receiver
+
+    def unregister(self, node: PhysicalNode) -> None:
+        self._nodes.pop(node.node_id, None)
+        self._receivers.pop(node.node_id, None)
+
+    def nodes_in(self, region: RegionId) -> List[PhysicalNode]:
+        """Alive registered nodes currently in ``region``."""
+        return [
+            n
+            for n in self._nodes.values()
+            if n.alive and n.region == region
+        ]
+
+    def broadcast(self, source_region: RegionId, message: Any) -> None:
+        """Broadcast ``message`` from ``source_region`` to its neighborhood."""
+        self.broadcasts_sent += 1
+        neighborhood = {source_region, *self.tiling.neighbors(source_region)}
+
+        def deliver() -> None:
+            for node_id in sorted(self._nodes):
+                node = self._nodes[node_id]
+                if node.alive and node.region in neighborhood:
+                    self.deliveries += 1
+                    self._receivers[node_id](message, source_region)
+
+        self.sim.call_after(self.delta, deliver, tag="radio")

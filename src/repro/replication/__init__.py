@@ -1,0 +1,5 @@
+"""Multi-head cluster replication (§VII extension)."""
+
+from .replicated import ReplicaSlots, ReplicatedVineStalk, choose_slots
+
+__all__ = ["ReplicaSlots", "ReplicatedVineStalk", "choose_slots"]

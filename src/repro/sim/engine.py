@@ -1,0 +1,147 @@
+"""Discrete-event simulation engine.
+
+The :class:`Simulator` advances a virtual clock through an
+:class:`~repro.sim.event_queue.EventQueue`.  All timing in the
+reproduction (message delays, VSA timers, mobility dwell times) is
+expressed as events on a single simulator, which keeps executions fully
+deterministic and replayable.
+
+Typical use::
+
+    sim = Simulator()
+    sim.call_at(3.0, lambda: print("hello at t=3"))
+    sim.run_until(10.0)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from .event_queue import Event, EventQueue
+from .trace import TraceLog
+
+
+class SimulationError(RuntimeError):
+    """Raised for illegal scheduling requests (e.g., scheduling in the past)."""
+
+
+class Simulator:
+    """Single-clock discrete-event simulator.
+
+    Attributes:
+        now: Current simulation time.  Starts at 0.0.
+        trace: Structured trace log shared by all simulation components.
+    """
+
+    def __init__(self, trace: Optional[TraceLog] = None) -> None:
+        self.now: float = 0.0
+        self.trace: TraceLog = trace if trace is not None else TraceLog()
+        self._queue = EventQueue()
+        self._events_fired = 0
+        self._running = False
+        self._stop_requested = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def call_at(
+        self,
+        time: float,
+        fn: Callable[[], Any],
+        priority: int = 0,
+        tag: Optional[str] = None,
+    ) -> Event:
+        """Schedule ``fn`` at absolute time ``time``.
+
+        Raises:
+            SimulationError: if ``time`` lies in the past.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self.now} (tag={tag!r})"
+            )
+        return self._queue.push(time, fn, priority=priority, tag=tag)
+
+    def call_after(
+        self,
+        delay: float,
+        fn: Callable[[], Any],
+        priority: int = 0,
+        tag: Optional[str] = None,
+    ) -> Event:
+        """Schedule ``fn`` after a non-negative ``delay`` from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay} (tag={tag!r})")
+        return self._queue.push(self.now + delay, fn, priority=priority, tag=tag)
+
+    def cancel(self, event: Event) -> None:
+        self._queue.cancel(event)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    @property
+    def events_fired(self) -> int:
+        return self._events_fired
+
+    def stop(self) -> None:
+        """Request that the currently running loop stop after this event."""
+        self._stop_requested = True
+
+    def step(self) -> bool:
+        """Fire the single earliest event.  Returns False if none remain."""
+        if not self._queue:
+            return False
+        event = self._queue.pop()
+        if event.time < self.now:  # pragma: no cover - defensive
+            raise SimulationError("event queue produced an event in the past")
+        self.now = event.time
+        self._events_fired += 1
+        event.fn()
+        return True
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Run until the queue drains (or ``max_events`` fire).
+
+        Returns:
+            Number of events fired by this call.
+        """
+        return self._loop(until=None, max_events=max_events)
+
+    def run_until(self, until: float, max_events: Optional[int] = None) -> int:
+        """Run events with ``time <= until`` and advance the clock to ``until``.
+
+        Returns:
+            Number of events fired by this call.
+        """
+        fired = self._loop(until=until, max_events=max_events)
+        if not self._stop_requested and self.now < until:
+            self.now = until
+        return fired
+
+    def _loop(self, until: Optional[float], max_events: Optional[int]) -> int:
+        if self._running:
+            raise SimulationError("Simulator.run is not reentrant")
+        self._running = True
+        self._stop_requested = False
+        fired = 0
+        try:
+            while self._queue:
+                if max_events is not None and fired >= max_events:
+                    break
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                self.step()
+                fired += 1
+                if self._stop_requested:
+                    break
+        finally:
+            self._running = False
+        return fired

@@ -1,0 +1,133 @@
+"""Deterministic calendar queue for discrete-event simulation.
+
+Events are ordered by ``(time, priority, sequence)``.  The sequence number
+is assigned at scheduling time, so events scheduled earlier fire earlier
+when time and priority tie — this makes every simulation run fully
+deterministic for a fixed seed and schedule order.
+
+Cancellation is O(1): a cancelled :class:`Event` stays in the heap but is
+skipped when popped (lazy deletion).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: Simulation time at which the event fires.
+        priority: Secondary ordering key; lower fires first at equal time.
+        seq: Monotone sequence number breaking remaining ties.
+        fn: Zero-argument callable invoked when the event fires.
+        tag: Optional free-form label used by traces and tests.
+    """
+
+    __slots__ = ("time", "priority", "seq", "fn", "tag", "_cancelled", "_popped")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        fn: Callable[[], Any],
+        tag: Optional[str] = None,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.fn = fn
+        self.tag = tag
+        self._cancelled = False
+        self._popped = False
+
+    @property
+    def cancelled(self) -> bool:
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Mark this event so that it is skipped when popped."""
+        self._cancelled = True
+
+    def sort_key(self) -> tuple:
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self._cancelled else "pending"
+        return f"Event(t={self.time}, prio={self.priority}, tag={self.tag!r}, {state})"
+
+
+class EventQueue:
+    """Min-heap of :class:`Event` objects with lazy cancellation."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        time: float,
+        fn: Callable[[], Any],
+        priority: int = 0,
+        tag: Optional[str] = None,
+    ) -> Event:
+        """Schedule ``fn`` at ``time`` and return a cancellable handle."""
+        if time != time:  # NaN guard
+            raise ValueError("event time must not be NaN")
+        event = Event(time, priority, next(self._counter), fn, tag)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Cancel a previously scheduled event.
+
+        Idempotent, and a no-op for events that already fired (a timer
+        may legitimately disarm itself from inside its own wakeup).
+        """
+        if not event.cancelled and not event._popped:
+            event.cancel()
+            self._live -= 1
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the earliest live event, or ``None`` if empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def pop(self) -> Event:
+        """Remove and return the earliest live event.
+
+        Raises:
+            IndexError: if the queue holds no live events.
+        """
+        self._drop_cancelled()
+        if not self._heap:
+            raise IndexError("pop from empty EventQueue")
+        event = heapq.heappop(self._heap)
+        event._popped = True
+        self._live -= 1
+        return event
+
+    def clear(self) -> None:
+        self._heap.clear()
+        self._live = 0
+
+    def _drop_cancelled(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)

@@ -1,0 +1,84 @@
+"""Counters, gauges and time-series for experiment instrumentation.
+
+The :class:`MetricsRegistry` is deliberately minimal: components bump
+counters by name; experiment runners read totals and series afterwards.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+
+@dataclass
+class Counter:
+    """Monotone counter with an optional running sum of weights."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+
+    def add(self, weight: float = 1.0) -> None:
+        self.count += 1
+        self.total += weight
+
+
+@dataclass
+class Series:
+    """A time-series of ``(time, value)`` samples."""
+
+    name: str
+    samples: list = field(default_factory=list)
+
+    def add(self, time: float, value: float) -> None:
+        self.samples.append((time, value))
+
+    def values(self) -> list:
+        return [v for _, v in self.samples]
+
+    def max(self) -> float:
+        return max(self.values()) if self.samples else 0.0
+
+    def last(self) -> Optional[float]:
+        return self.samples[-1][1] if self.samples else None
+
+
+class MetricsRegistry:
+    """Named counters and series, created on first use."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._series: dict[str, Series] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def series(self, name: str) -> Series:
+        if name not in self._series:
+            self._series[name] = Series(name)
+        return self._series[name]
+
+    def counters(self) -> dict:
+        return dict(self._counters)
+
+    def snapshot(self) -> dict:
+        """Plain-dict snapshot: counter name -> (count, total)."""
+        return {n: (c.count, c.total) for n, c in self._counters.items()}
+
+    def reset(self) -> None:
+        self._counters.clear()
+        self._series.clear()
+
+
+def summarize(values: Iterable[float]) -> dict:
+    """Mean / min / max / stddev summary of a value collection."""
+    vals = list(values)
+    if not vals:
+        return {"n": 0, "mean": 0.0, "min": 0.0, "max": 0.0, "std": 0.0}
+    n = len(vals)
+    mean = sum(vals) / n
+    var = sum((v - mean) ** 2 for v in vals) / n
+    return {"n": n, "mean": mean, "min": min(vals), "max": max(vals), "std": math.sqrt(var)}

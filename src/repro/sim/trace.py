@@ -1,0 +1,91 @@
+"""Structured trace log for simulation runs.
+
+Components record :class:`TraceRecord` entries (time, source, kind,
+payload).  Tests and experiment runners query the log to assert on
+orderings and to reconstruct executions; benchmarks usually disable it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence.
+
+    Attributes:
+        time: Simulation time of the occurrence.
+        source: Identifier of the emitting component (e.g. ``"tracker:(2,3)@1"``).
+        kind: Short machine-readable kind (e.g. ``"send"``, ``"grow"``).
+        detail: Free-form payload describing the occurrence.
+    """
+
+    time: float
+    source: str
+    kind: str
+    detail: Any = None
+
+
+class TraceLog:
+    """Append-only in-memory trace with cheap filtering.
+
+    The log can be disabled (``enabled=False``) to make recording a no-op,
+    which benchmarks use to avoid measurement overhead.
+    """
+
+    def __init__(self, enabled: bool = True, capacity: Optional[int] = None) -> None:
+        self.enabled = enabled
+        self.capacity = capacity
+        self._records: list[TraceRecord] = []
+        self._subscribers: list[Callable[[TraceRecord], None]] = []
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def record(self, time: float, source: str, kind: str, detail: Any = None) -> None:
+        """Append a record (no-op when disabled)."""
+        if not self.enabled:
+            return
+        rec = TraceRecord(time, source, kind, detail)
+        self._records.append(rec)
+        if self.capacity is not None and len(self._records) > self.capacity:
+            del self._records[: len(self._records) - self.capacity]
+        for fn in self._subscribers:
+            fn(rec)
+
+    def subscribe(self, fn: Callable[[TraceRecord], None]) -> None:
+        """Invoke ``fn`` on every future record (even when capacity-evicted)."""
+        self._subscribers.append(fn)
+
+    def clear(self) -> None:
+        self._records.clear()
+
+    def filter(
+        self,
+        kind: Optional[str] = None,
+        source: Optional[str] = None,
+        since: float = float("-inf"),
+    ) -> list[TraceRecord]:
+        """Return records matching all provided criteria."""
+        out = []
+        for rec in self._records:
+            if kind is not None and rec.kind != kind:
+                continue
+            if source is not None and rec.source != source:
+                continue
+            if rec.time < since:
+                continue
+            out.append(rec)
+        return out
+
+    def kinds(self) -> dict:
+        """Histogram of record kinds."""
+        hist: dict = {}
+        for rec in self._records:
+            hist[rec.kind] = hist.get(rec.kind, 0) + 1
+        return hist

@@ -1,0 +1,17 @@
+"""Self-stabilizing VINESTALK (§VII extension): heartbeats + re-anchor."""
+
+from .stabilizing_tracker import (
+    Heartbeat,
+    HeartbeatAck,
+    StabilizationConfig,
+    StabilizingTracker,
+)
+from .system import StabilizingVineStalk
+
+__all__ = [
+    "Heartbeat",
+    "HeartbeatAck",
+    "StabilizationConfig",
+    "StabilizingTracker",
+    "StabilizingVineStalk",
+]

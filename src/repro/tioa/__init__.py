@@ -1,0 +1,18 @@
+"""Timed I/O Automata framework (Kaynar–Lynch–Segala–Vaandrager style)."""
+
+from .actions import Action, ActionKind
+from .automaton import AutomatonError, TimedAutomaton
+from .composition import Composition
+from .executor import Executor
+from .timers import INFINITY, Timer
+
+__all__ = [
+    "Action",
+    "ActionKind",
+    "AutomatonError",
+    "Composition",
+    "Executor",
+    "INFINITY",
+    "TimedAutomaton",
+    "Timer",
+]

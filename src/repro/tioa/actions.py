@@ -1,0 +1,65 @@
+"""Actions of timed I/O automata.
+
+An :class:`Action` is a named occurrence with a payload.  The kind
+(input / output / internal) follows TIOA [13]: inputs arrive from the
+environment, outputs are locally controlled and fire as soon as their
+precondition holds (the trajectory "stops when" clause), internal
+actions are locally controlled but invisible.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Tuple
+
+
+class ActionKind(enum.Enum):
+    INPUT = "input"
+    OUTPUT = "output"
+    INTERNAL = "internal"
+
+
+@dataclass(frozen=True)
+class Action:
+    """One action occurrence.
+
+    Attributes:
+        name: Action name, e.g. ``"cTOBrcv"``.
+        kind: Input / output / internal.
+        payload: Immutable key-value payload, e.g. the message and sender.
+    """
+
+    name: str
+    kind: ActionKind
+    payload: Tuple[Tuple[str, Any], ...] = ()
+
+    @staticmethod
+    def input(name: str, **kwargs: Any) -> "Action":
+        return Action(name, ActionKind.INPUT, _freeze(kwargs))
+
+    @staticmethod
+    def output(name: str, **kwargs: Any) -> "Action":
+        return Action(name, ActionKind.OUTPUT, _freeze(kwargs))
+
+    @staticmethod
+    def internal(name: str, **kwargs: Any) -> "Action":
+        return Action(name, ActionKind.INTERNAL, _freeze(kwargs))
+
+    @property
+    def kwargs(self) -> Dict[str, Any]:
+        return dict(self.payload)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        for k, v in self.payload:
+            if k == key:
+                return v
+        return default
+
+    def __repr__(self) -> str:
+        args = ", ".join(f"{k}={v!r}" for k, v in self.payload)
+        return f"{self.kind.value}:{self.name}({args})"
+
+
+def _freeze(kwargs: Mapping[str, Any]) -> Tuple[Tuple[str, Any], ...]:
+    return tuple(sorted(kwargs.items()))

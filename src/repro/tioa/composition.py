@@ -1,0 +1,59 @@
+"""Composition of timed automata by action matching.
+
+Classical TIOA composition synchronises equal-named outputs and inputs.
+Our system mostly communicates through explicit channel services
+(V-bcast, C-gcast), but the generic :class:`Composition` is used by the
+layer assembly and in tests: it routes outputs of member automata to
+inputs of other members according to registered bindings.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from .actions import Action
+from .automaton import TimedAutomaton
+from .executor import Executor
+
+# A matcher inspects (source automaton, action) and returns the list of
+# (target automaton, input action, delay) deliveries it induces.
+Binding = Callable[[TimedAutomaton, Action], List[tuple]]
+
+
+class Composition:
+    """Routes outputs between automata registered on one executor."""
+
+    def __init__(self, executor: Executor) -> None:
+        self.executor = executor
+        self._bindings: List[Binding] = []
+        executor.on_output(self._route)
+
+    def bind(self, binding: Binding) -> None:
+        """Register a routing rule applied to every output action."""
+        self._bindings.append(binding)
+
+    def bind_name(
+        self,
+        output_name: str,
+        target: TimedAutomaton,
+        input_name: Optional[str] = None,
+        delay: float = 0.0,
+    ) -> None:
+        """Route every output named ``output_name`` to ``target`` as an input.
+
+        The payload is carried over unchanged; the input name defaults to
+        the output name (classical same-name synchronisation).
+        """
+        in_name = input_name if input_name is not None else output_name
+
+        def binding(source: TimedAutomaton, action: Action) -> List[tuple]:
+            if action.name != output_name or source is target:
+                return []
+            return [(target, Action.input(in_name, **action.kwargs), delay)]
+
+        self.bind(binding)
+
+    def _route(self, source: TimedAutomaton, action: Action) -> None:
+        for binding in self._bindings:
+            for target, input_action, delay in binding(source, action):
+                self.executor.deliver(target, input_action, delay=delay)

@@ -1,0 +1,62 @@
+"""Timer helper for timed automata.
+
+A :class:`Timer` models one real-valued deadline variable like the
+``timer`` of Fig. 2: it can be armed to an absolute time, re-armed
+(cancelling the previous deadline), disarmed, and read.  When the
+deadline is reached the owning automaton's ``on_wakeup(tag)`` runs and
+its enabled outputs drain, which is how ``now = timer`` preconditions
+fire.
+"""
+
+from __future__ import annotations
+
+import math
+from .automaton import TimedAutomaton
+
+INFINITY = math.inf
+
+
+class Timer:
+    """One deadline variable owned by an automaton.
+
+    Attributes:
+        deadline: Current deadline (``math.inf`` when disarmed).
+    """
+
+    def __init__(self, owner: TimedAutomaton, tag: str) -> None:
+        self._owner = owner
+        self._tag = tag
+        self._event = None
+        self.deadline: float = INFINITY
+
+    @property
+    def armed(self) -> bool:
+        return self.deadline != INFINITY
+
+    def expired(self) -> bool:
+        """True when armed and the deadline has been reached."""
+        return self.armed and self._owner.now >= self.deadline
+
+    def arm(self, deadline: float) -> None:
+        """Set the deadline, replacing any previous one."""
+        self.disarm()
+        if deadline < self._owner.now:
+            raise ValueError(
+                f"timer {self._tag!r} deadline {deadline} is in the past "
+                f"(now={self._owner.now})"
+            )
+        self.deadline = deadline
+        self._event = self._owner.executor.wake_at(self._owner, deadline, tag=self._tag)
+
+    def arm_after(self, delay: float) -> None:
+        self.arm(self._owner.now + delay)
+
+    def disarm(self) -> None:
+        """Clear the deadline (idempotent)."""
+        if self._event is not None:
+            self._owner.executor.sim.cancel(self._event)
+            self._event = None
+        self.deadline = INFINITY
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Timer({self._tag!r}, deadline={self.deadline})"

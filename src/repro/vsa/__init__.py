@@ -1,0 +1,9 @@
+"""The Virtual Stationary Automata programming layer (§II-C)."""
+
+from .client import Client
+from .emulation import VsaEmulation
+from .layer import VsaNetwork
+from .vbcast import VBcast
+from .vsa import VsaHost
+
+__all__ = ["Client", "VBcast", "VsaEmulation", "VsaHost", "VsaNetwork"]

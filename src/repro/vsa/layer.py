@@ -1,0 +1,135 @@
+"""VSA layer assembly (Fig. 1): hosts + clients + communication.
+
+:class:`VsaNetwork` bundles the pieces every VSA-layer algorithm needs —
+a simulator, a TIOA executor, one :class:`~repro.vsa.vsa.VsaHost` per
+region, and the C-gcast service — and provides registration helpers.
+It has two operating modes:
+
+* **abstract** (default): every VSA is alive for the whole execution —
+  the regime of the paper's §IV/§V analysis;
+* **emulated**: a :class:`~repro.vsa.emulation.VsaEmulation` drives VSA
+  failures and restarts from a physical node population (§II-C.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..geometry.regions import RegionId
+from ..geocast.cgcast import CGcast
+from ..hierarchy.hierarchy import ClusterHierarchy
+from ..physical.gps import GpsOracle
+from ..physical.node import PhysicalNode
+from ..sim.engine import Simulator
+from ..tioa.automaton import TimedAutomaton
+from ..tioa.executor import Executor
+from .client import Client
+from .emulation import VsaEmulation
+from .vsa import VsaHost
+
+
+class VsaNetwork:
+    """The assembled VSA programming layer for one hierarchy.
+
+    Args:
+        hierarchy: The cluster hierarchy over the deployment space.
+        delta: Physical broadcast delay ``δ``.
+        e: VSA emulation output lag ``e``.
+        sim: Optional externally owned simulator.
+    """
+
+    def __init__(
+        self,
+        hierarchy: ClusterHierarchy,
+        delta: float = 1.0,
+        e: float = 0.0,
+        sim: Optional[Simulator] = None,
+        cgcast_cls=CGcast,
+    ) -> None:
+        self.hierarchy = hierarchy
+        self.delta = delta
+        self.e = e
+        self.sim = sim if sim is not None else Simulator()
+        self.executor = Executor(self.sim)
+        self.cgcast = cgcast_cls(self.sim, hierarchy, delta=delta, e=e)
+        self.hosts: Dict[RegionId, VsaHost] = {
+            region: VsaHost(region) for region in hierarchy.tiling.regions()
+        }
+        self.clients: Dict[int, Client] = {}
+        self.gps = GpsOracle(self.sim)
+        self.gps.on_update(self._gps_update)
+        self.emulation: Optional[VsaEmulation] = None
+
+    # ------------------------------------------------------------------
+    # VSA side
+    # ------------------------------------------------------------------
+    def host(self, region: RegionId) -> VsaHost:
+        try:
+            return self.hosts[region]
+        except KeyError:
+            raise KeyError(f"no VSA host for region {region!r}") from None
+
+    def add_subautomaton(
+        self, region: RegionId, key: str, automaton: TimedAutomaton
+    ) -> TimedAutomaton:
+        """Host ``automaton`` at region ``u``'s VSA and register it."""
+        self.executor.register(automaton)
+        return self.host(region).add_subautomaton(key, automaton)
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    def add_client(self, client: Client, node: Optional[PhysicalNode] = None) -> Client:
+        """Register a client automaton, optionally riding a physical node."""
+        self.executor.register(client)
+        self.clients[client.node_id] = client
+        if node is not None:
+            if node.node_id != client.node_id:
+                raise ValueError("client and node ids must match")
+            node.observe(self._node_event)
+            self.gps.track_node(node)
+        return client
+
+    def _gps_update(self, node: PhysicalNode, region: RegionId) -> None:
+        client = self.clients.get(node.node_id)
+        if client is not None and not client.failed:
+            from ..tioa.actions import Action
+
+            client.handle_input(Action.input("GPSupdate", region=region))
+            self.executor.kick(client)
+
+    def _node_event(self, node: PhysicalNode, event: str, region: RegionId) -> None:
+        client = self.clients.get(node.node_id)
+        if client is None:
+            return
+        if event == "fail":
+            client.fail()
+        elif event == "restart":
+            client.restart()
+
+    # ------------------------------------------------------------------
+    # Emulation mode
+    # ------------------------------------------------------------------
+    def enable_emulation(self, nodes: List[PhysicalNode], t_restart: float) -> VsaEmulation:
+        """Switch to the emulated regime driven by ``nodes``."""
+        if self.emulation is not None:
+            raise RuntimeError("emulation already enabled")
+        self.emulation = VsaEmulation(self.sim, self.hosts, t_restart)
+        for node in nodes:
+            self.emulation.add_node(node)
+        self.emulation.initialize()
+        return self.emulation
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def alive_vsa_count(self) -> int:
+        return sum(1 for host in self.hosts.values() if not host.failed)
+
+    def run(self, duration: float) -> None:
+        """Advance the simulation by ``duration``."""
+        self.sim.run_until(self.sim.now + duration)
+
+    def run_to_quiescence(self, max_events: Optional[int] = None) -> int:
+        """Run until no events remain (mobility stopped)."""
+        return self.sim.run(max_events=max_events)

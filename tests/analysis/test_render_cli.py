@@ -1,0 +1,115 @@
+"""Tests for the ASCII renderer and the command-line interface."""
+
+import pytest
+
+from repro.analysis.render import render_grid_world, render_path, render_pointer_stats
+from repro.cli import main
+from repro.core import VineStalk, capture_snapshot, init_state
+from repro.hierarchy import grid_hierarchy, strip_hierarchy
+from repro.mobility import FixedPath
+
+
+@pytest.fixture(scope="module")
+def world():
+    h = grid_hierarchy(3, 2)
+    system = VineStalk(h)
+    system.sim.trace.enabled = False
+    # Step once so the evader cell differs from the cluster heads at the
+    # block center (which render as level digits).
+    evader = system.make_evader(
+        FixedPath([(4, 4), (3, 3)]), dwell=1e12, start=(4, 4)
+    )
+    system.run_to_quiescence()
+    evader.step()
+    system.run_to_quiescence()
+    return h, capture_snapshot(system)
+
+
+class TestRenderer:
+    def test_grid_render_shows_evader_and_levels(self, world):
+        h, snapshot = world
+        art = render_grid_world(h, snapshot, (3, 3))
+        assert "E" in art
+        assert "2" in art  # the root head at the block center
+        assert "|" in art and "-" in art  # block separators
+
+    def test_grid_render_row_count(self, world):
+        h, snapshot = world
+        art = render_grid_world(h, snapshot, (3, 3))
+        # 9 cell rows + 2 separator rows for 3x3 level-1 blocks.
+        assert len(art.splitlines()) == 11
+
+    def test_render_requires_grid(self):
+        h = strip_hierarchy(3, 2)
+        with pytest.raises(TypeError):
+            render_grid_world(h, init_state(h, 4), 4)
+
+    def test_render_path_lists_levels_and_links(self, world):
+        h, snapshot = world
+        text = render_path(h, snapshot)
+        assert "terminated" in text
+        assert "[root]" in text
+        assert "[vertical]" in text
+
+    def test_render_path_empty(self, world):
+        h, _snapshot = world
+        from repro.core import empty_state
+
+        assert "no tracking path" in render_path(h, empty_state(h))
+
+    def test_render_broken_path(self, world):
+        h, snapshot = world
+        broken = snapshot.copy()
+        broken.pointers[h.cluster((4, 4), 1)].c = None
+        assert "BROKEN" in render_path(h, broken)
+
+    def test_pointer_stats(self, world):
+        h, snapshot = world
+        stats = render_pointer_stats(snapshot)
+        assert "c=4" in stats  # root, level-1, level-0 junction + terminus
+        assert "nbrptup=" in stats
+
+
+class TestCli:
+    def test_validate_grid(self, capsys):
+        assert main(["validate", "--r", "2", "--max-level", "2"]) == 0
+        assert "all §II-B requirements hold" in capsys.readouterr().out
+
+    def test_validate_strip(self, capsys):
+        assert main(["validate", "--r", "3", "--max-level", "2", "--strip"]) == 0
+        assert "strip hierarchy" in capsys.readouterr().out
+
+    def test_demo_runs(self, capsys):
+        code = main(["demo", "--r", "2", "--max-level", "2", "--moves", "5",
+                     "--finds", "1", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tracking path" in out
+        assert "move work" in out
+        assert "find from" in out
+
+    def test_find_sweep_runs(self, capsys):
+        assert main(["find", "--r", "2", "--max-level", "2"]) == 0
+        assert "find cost by distance" in capsys.readouterr().out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestReportModule:
+    def test_section_builders_render_markdown(self):
+        # e3 and e7 are the cheap ones; the rest are covered by the
+        # benchmark suite and the report generation script.
+        from repro.analysis.report import e3, e7
+
+        for section in (e3(), e7()):
+            assert section.startswith("## E")
+            assert "**Paper:**" in section
+
+    def test_build_report_lists_all_sections(self):
+        from repro.analysis.report import ALL_SECTIONS
+
+        assert [f.__name__ for f in ALL_SECTIONS] == [
+            f"e{i}" for i in range(1, 10)
+        ]

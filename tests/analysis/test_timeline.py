@@ -1,0 +1,57 @@
+"""Unit tests for the timeline extraction tool."""
+
+import pytest
+
+from repro.analysis import TimelineEntry, extract_timeline, format_timeline
+from repro.sim import TraceLog
+
+
+@pytest.fixture()
+def trace():
+    log = TraceLog()
+    log.record(1.0, "tracker:0:(0, 0)", "rcv", "Grow")
+    log.record(2.0, "tracker:0:(0, 0)", "grow-sent", ("C1", "vertical"))
+    log.record(3.0, "tracker:1:(0, 0)", "rcv", "Grow")
+    log.record(4.0, "client:0", "found-output", 1)
+    log.record(5.0, "tracker:1:(0, 0)", "shrink-sent", "C2")
+    return log
+
+
+def test_extract_filters_kinds(trace):
+    entries = extract_timeline(trace, kinds=("rcv",))
+    assert len(entries) == 2
+    assert all(e.kind == "rcv" for e in entries)
+
+
+def test_extract_default_kinds_exclude_noise(trace):
+    entries = extract_timeline(trace)
+    kinds = {e.kind for e in entries}
+    assert "found-output" not in kinds
+    assert {"rcv", "grow-sent", "shrink-sent"} <= kinds
+
+
+def test_time_window(trace):
+    entries = extract_timeline(trace, since=2.5, until=4.5)
+    assert [e.time for e in entries] == [3.0]
+
+
+def test_source_prefix(trace):
+    entries = extract_timeline(trace, source_prefix="tracker:1")
+    assert {e.source for e in entries} == {"tracker:1:(0, 0)"}
+
+
+def test_tuple_details_flattened(trace):
+    entries = extract_timeline(trace, kinds=("grow-sent",))
+    assert entries[0].detail == "C1 vertical"
+
+
+def test_format_relative_times(trace):
+    entries = extract_timeline(trace)
+    text = format_timeline(entries, title="cascade")
+    assert text.startswith("cascade (t0 = 1.0):")
+    assert "t=   0.00" in text
+    assert "t=   4.00" in text  # 5.0 - 1.0
+
+
+def test_format_empty():
+    assert "empty" in format_timeline([])

@@ -1,0 +1,159 @@
+"""Tests for multi-object tracking and pursuit coordination (§VII)."""
+
+import random
+
+import pytest
+
+from repro.coordination import CommandCenter, MultiVineStalk, PursuitGame
+from repro.geometry import GridTiling
+from repro.hierarchy import grid_hierarchy
+from repro.mobility import FixedPath, RandomNeighborWalk
+from repro.sim import Simulator
+
+
+@pytest.fixture()
+def h():
+    return grid_hierarchy(3, 2)
+
+
+class TestMultiVineStalk:
+    def test_planes_track_independently(self, h):
+        system = MultiVineStalk(h)
+        system.add_evader("a", FixedPath([(0, 0)]), dwell=1e12, start=(0, 0))
+        system.add_evader("b", FixedPath([(8, 8)]), dwell=1e12, start=(8, 8))
+        system.run_to_quiescence()
+        fa = system.issue_find("a", (4, 4))
+        fb = system.issue_find("b", (4, 4))
+        system.run_to_quiescence()
+        assert system.find_record("a", fa).found_region == (0, 0)
+        assert system.find_record("b", fb).found_region == (8, 8)
+
+    def test_duplicate_evader_id_rejected(self, h):
+        system = MultiVineStalk(h)
+        system.add_evader("a", FixedPath([(0, 0)]), dwell=1e12, start=(0, 0))
+        with pytest.raises(ValueError):
+            system.add_evader("a", FixedPath([(1, 1)]), dwell=1e12, start=(1, 1))
+
+    def test_remove_evader(self, h):
+        system = MultiVineStalk(h)
+        system.add_evader("a", FixedPath([(0, 0)]), dwell=1e12, start=(0, 0))
+        system.remove_evader("a")
+        assert system.evader_ids() == []
+        system.remove_evader("a")  # idempotent
+
+    def test_shared_clock(self, h):
+        system = MultiVineStalk(h)
+        system.add_evader("a", FixedPath([(0, 0)]), dwell=5.0, start=(0, 0))
+        system.add_evader("b", FixedPath([(8, 8)]), dwell=5.0, start=(8, 8))
+        system.run(10.0)
+        assert system.sim.now == 10.0
+
+    def test_per_plane_accounting(self, h):
+        system = MultiVineStalk(h)
+        system.add_evader("a", FixedPath([(0, 0), (1, 1)]), dwell=1e12, start=(0, 0))
+        system.add_evader("b", FixedPath([(8, 8)]), dwell=1e12, start=(8, 8))
+        system.run_to_quiescence()
+        system.evaders["a"].step()
+        system.run_to_quiescence()
+        move_a = system.accountants["a"].move_work
+        move_b = system.accountants["b"].move_work
+        assert move_a > move_b  # only a moved after setup
+        assert system.total_work() == pytest.approx(
+            sum(acc.total_work for acc in system.accountants.values())
+        )
+
+
+class TestCommandCenter:
+    @pytest.fixture()
+    def center(self):
+        sim = Simulator()
+        tiling = GridTiling(9)
+        return CommandCenter(sim, tiling, region=(4, 4))
+
+    def test_report_stores_sighting_and_charges_distance(self, center):
+        center.report("a", (0, 0))
+        assert center.last_sighting("a").region == (0, 0)
+        assert center.report_work == 4  # Chebyshev distance to (4,4)
+
+    def test_assignments_are_overlap_free(self, center):
+        center.report("e1", (0, 0))
+        center.report("e2", (8, 8))
+        assignment = center.assign({"p1": (1, 1), "p2": (7, 7)})
+        assert assignment == {"p1": "e1", "p2": "e2"}
+
+    def test_greedy_prefers_globally_short_pairs(self, center):
+        center.report("e1", (0, 0))
+        center.report("e2", (8, 8))
+        # Both pursuers near e1; the second is pushed to e2.
+        assignment = center.assign({"p1": (0, 1), "p2": (1, 1)})
+        assert sorted(assignment.values()) == ["e1", "e2"]
+        assert assignment["p1"] == "e1"  # p1 is strictly closer
+
+    def test_surplus_pursuers_get_backup_targets(self, center):
+        center.report("e1", (0, 0))
+        assignment = center.assign({"p1": (1, 1), "p2": (2, 2), "p3": (3, 3)})
+        assert all(v == "e1" for v in assignment.values())
+
+    def test_no_sightings_no_targets(self, center):
+        assert center.assign({"p1": (0, 0)}) == {"p1": None}
+
+    def test_forget(self, center):
+        center.report("a", (0, 0))
+        center.forget("a")
+        assert center.last_sighting("a") is None
+
+    def test_naive_assignment_overlaps(self):
+        tiling = GridTiling(9)
+        assignment = CommandCenter.naive_assignment(
+            tiling,
+            {"p1": (0, 0), "p2": (1, 1)},
+            {"e1": (2, 2), "e2": (8, 8)},
+        )
+        assert assignment == {"p1": "e1", "p2": "e1"}  # both pile on e1
+
+
+class TestPursuitGame:
+    GAME_KWARGS = dict(
+        n_evaders=3,
+        n_pursuers=3,
+        seed=7,
+        evader_dwell=50.0,
+        pursuer_speed=2,
+        evader_starts=[(2, 13), (13, 13), (13, 2)],
+        pursuer_starts=[(0, 0), (1, 0), (0, 1)],
+    )
+
+    def test_coordinated_game_catches_everyone(self):
+        h = grid_hierarchy(2, 4)
+        game = PursuitGame(h, coordinated=True, **self.GAME_KWARGS)
+        result = game.play(max_rounds=80, round_period=50.0)
+        assert result.all_caught
+        assert sorted(result.caught) == ["evader-0", "evader-1", "evader-2"]
+        assert result.find_work > 0
+        assert result.report_work > 0
+
+    def test_coordination_beats_naive_on_clustered_pursuers(self):
+        h = grid_hierarchy(2, 4)
+        coordinated = PursuitGame(h, coordinated=True, **self.GAME_KWARGS).play(
+            max_rounds=80, round_period=50.0
+        )
+        naive = PursuitGame(h, coordinated=False, **self.GAME_KWARGS).play(
+            max_rounds=80, round_period=50.0
+        )
+        assert coordinated.all_caught
+        assert coordinated.rounds <= naive.rounds
+        assert coordinated.find_work < naive.find_work
+
+    def test_single_pursuer_sweeps_all_evaders(self):
+        h = grid_hierarchy(3, 2)
+        game = PursuitGame(
+            h,
+            n_evaders=2,
+            n_pursuers=1,
+            coordinated=True,
+            seed=3,
+            evader_dwell=100.0,
+            pursuer_speed=3,
+        )
+        result = game.play(max_rounds=80, round_period=40.0)
+        assert result.all_caught

@@ -1,0 +1,65 @@
+"""Lemma 4.1 / 4.2 invariant tests over real executions."""
+
+import random
+
+import pytest
+
+from repro.analysis import run_invariant_watch
+from repro.core import InvariantMonitor, VineStalk
+from repro.hierarchy import grid_hierarchy
+from repro.mobility import BoundaryOscillator, RandomNeighborWalk, worst_boundary_pair
+
+
+def test_lemma_4_1_random_walk():
+    result = run_invariant_watch(3, 2, n_moves=30, seed=1)
+    assert result.violations == []
+    assert result.max_grow_outstanding <= 1
+    assert result.max_shrink_outstanding <= 1
+    # the walk exercised the machinery
+    assert result.max_grow_outstanding == 1
+    assert result.max_shrink_outstanding == 1
+
+
+def test_lemma_4_1_r2_deep_hierarchy():
+    result = run_invariant_watch(2, 3, n_moves=25, seed=2)
+    assert result.violations == []
+    assert result.max_grow_outstanding <= 1
+    assert result.max_shrink_outstanding <= 1
+
+
+def test_lemma_4_2_one_lateral_per_level_per_move():
+    """Boundary oscillation maximises laterals; still ≤ 1 per move/level."""
+    h = grid_hierarchy(2, 3)
+    system = VineStalk(h)
+    system.sim.trace.enabled = True
+    system.sim.trace.capacity = 1
+    a, b = worst_boundary_pair(h)
+    evader = system.make_evader(BoundaryOscillator(a, b), dwell=1e12, start=a)
+    monitor = InvariantMonitor(system)
+    monitor.watch()
+    system.run_to_quiescence()
+    for _ in range(12):
+        evader.step()
+        system.run_to_quiescence()
+    assert monitor.violations == []
+    assert monitor.lateral_sends_total() >= 1  # laterals actually used
+
+
+def test_monitor_counts_quiescent_state_as_zero():
+    h = grid_hierarchy(2, 2)
+    system = VineStalk(h)
+    system.sim.trace.enabled = False
+    system.make_evader(RandomNeighborWalk(start=(0, 0)), dwell=1e12, start=(0, 0))
+    system.run_to_quiescence()
+    monitor = InvariantMonitor(system)
+    assert monitor.grow_outstanding() == 0
+    assert monitor.shrink_outstanding() == 0
+
+
+def test_assert_clean_raises_on_violation():
+    h = grid_hierarchy(2, 2)
+    system = VineStalk(h)
+    monitor = InvariantMonitor(system)
+    monitor.violations.append("synthetic")
+    with pytest.raises(AssertionError):
+        monitor.assert_clean()

@@ -1,0 +1,112 @@
+"""Unit tests for tracker messages and timer schedules."""
+
+import pytest
+
+from repro.core import (
+    Find,
+    FindAck,
+    FindQuery,
+    Found,
+    Grow,
+    GrowNbr,
+    GrowPar,
+    Shrink,
+    ShrinkUpd,
+    TimerSchedule,
+    TimerScheduleError,
+    grid_schedule,
+    is_find_message,
+    is_move_message,
+    uniform_schedule,
+)
+from repro.hierarchy import ClusterId, grid_params
+
+
+CID = ClusterId(0, (0, 0))
+
+
+class TestMessages:
+    def test_kinds(self):
+        assert Grow(cid=CID).kind == "grow"
+        assert GrowNbr(cid=CID).kind == "grownbr"
+        assert GrowPar(cid=CID).kind == "growpar"
+        assert Shrink(cid=CID).kind == "shrink"
+        assert ShrinkUpd(cid=CID).kind == "shrinkupd"
+        assert Find(cid=CID).kind == "find"
+        assert FindQuery(cid=CID).kind == "findquery"
+        assert FindAck(pointer=CID).kind == "findack"
+        assert Found().kind == "found"
+
+    def test_move_vs_find_classification(self):
+        moves = [Grow(cid=CID), GrowNbr(cid=CID), GrowPar(cid=CID),
+                 Shrink(cid=CID), ShrinkUpd(cid=CID)]
+        finds = [Find(cid=CID), FindQuery(cid=CID), FindAck(pointer=CID), Found()]
+        assert all(is_move_message(m) and not is_find_message(m) for m in moves)
+        assert all(is_find_message(m) and not is_move_message(m) for m in finds)
+
+    def test_messages_hashable_and_equal(self):
+        assert Grow(cid=CID) == Grow(cid=CID)
+        assert len({Grow(cid=CID), Grow(cid=CID)}) == 1
+        assert Find(cid=CID, find_id=1) != Find(cid=CID, find_id=2)
+
+
+class TestTimerSchedule:
+    @pytest.fixture()
+    def params(self):
+        return grid_params(3, 2)
+
+    def test_grid_schedule_satisfies_eq1(self, params):
+        schedule = grid_schedule(params, delta=1.0, e=0.5, r=3)
+        schedule.validate(params, 1.0, 0.5)  # must not raise
+        assert schedule.s(0) > schedule.g(0)
+        assert schedule.s(1) > schedule.s(0)  # geometric growth
+
+    def test_grid_schedule_geometric_shape(self, params):
+        schedule = grid_schedule(params, delta=1.0, e=0.5, r=3, g0=0.0)
+        assert schedule.s(1) == pytest.approx(3 * schedule.s(0))
+
+    def test_uniform_schedule_satisfies_eq1(self, params):
+        schedule = uniform_schedule(params, delta=1.0, e=0.5)
+        schedule.validate(params, 1.0, 0.5)
+        assert schedule.s(0) == schedule.s(1)
+
+    def test_uniform_schedule_needs_margin(self, params):
+        with pytest.raises(TimerScheduleError):
+            uniform_schedule(params, delta=1.0, e=0.5, margin=1.0)
+
+    def test_eq1_violation_detected(self, params):
+        # s−g sums too small at level 1: (δ+e)n(1) = 1.5·5 = 7.5.
+        bad = TimerSchedule(g_values=(0.0, 0.0), s_values=(1.0, 1.0))
+        with pytest.raises(TimerScheduleError, match="Eq."):
+            bad.validate(params, 1.0, 0.5)
+
+    def test_s_not_exceeding_g_detected(self, params):
+        bad = TimerSchedule(g_values=(1.0, 1.0), s_values=(1.0, 20.0))
+        with pytest.raises(TimerScheduleError, match="exceed"):
+            bad.validate(params, 1.0, 0.5)
+
+    def test_wrong_length_detected(self, params):
+        bad = TimerSchedule(g_values=(0.0,), s_values=(10.0,))
+        with pytest.raises(TimerScheduleError, match="levels"):
+            bad.validate(params, 1.0, 0.5)
+
+    def test_mismatched_lengths_detected(self, params):
+        bad = TimerSchedule(g_values=(0.0,), s_values=(10.0, 10.0))
+        with pytest.raises(TimerScheduleError, match="same length"):
+            bad.validate(params, 1.0, 0.5)
+
+    def test_negative_g_detected(self, params):
+        bad = TimerSchedule(g_values=(-1.0, 0.0), s_values=(10.0, 20.0))
+        with pytest.raises(TimerScheduleError, match="g\\(0\\)"):
+            bad.validate(params, 1.0, 0.5)
+
+    def test_level_bounds(self, params):
+        schedule = grid_schedule(params, 1.0, 0.5, 3)
+        with pytest.raises(ValueError):
+            schedule.g(2)  # timers only exist below MAX
+        with pytest.raises(ValueError):
+            schedule.s(-1)
+
+    def test_bad_slack_rejected(self, params):
+        with pytest.raises(TimerScheduleError):
+            grid_schedule(params, 1.0, 0.5, 3, slack=0.0)

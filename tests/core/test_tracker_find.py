@@ -1,0 +1,195 @@
+"""Unit tests for the Tracker's find protocol (Fig. 2 find section, §V)."""
+
+import pytest
+
+from repro.core import (
+    Find,
+    FindAck,
+    FindQuery,
+    Found,
+    Grow,
+    GrowNbr,
+    GrowPar,
+)
+from tests.core.conftest import DELTA, E
+
+
+def roundtrip(rig, level):
+    return 2 * (DELTA + E) * rig.hierarchy.params.n(level)
+
+
+def test_find_with_child_traces_down(rig):
+    t = rig.tracker((0, 0), 1)
+    child = rig.hierarchy.children(t.clust)[0]
+    t.c = child
+    rig.deliver(t, Find(cid=None, find_id=7))
+    finds = rig.gcast.of_kind("find")
+    assert finds == [(t.clust, child, Find(cid=t.clust, find_id=7))]
+    assert not t.finding
+
+
+def test_find_with_nbrptdown_follows_secondary(rig):
+    t = rig.tracker((0, 0), 1)
+    nbr = rig.hierarchy.nbrs(t.clust)[0]
+    rig.deliver(t, GrowNbr(cid=nbr))
+    rig.deliver(t, Find(cid=None, find_id=1))
+    assert rig.gcast.of_kind("find")[0][1] == nbr
+
+
+def test_find_with_only_nbrptup_not_parent_forwards(rig):
+    t = rig.tracker((0, 0), 1)
+    nbr = rig.hierarchy.nbrs(t.clust)[0]
+    rig.deliver(t, GrowPar(cid=nbr))
+    rig.deliver(t, Find(cid=None, find_id=1))
+    assert rig.gcast.of_kind("find")[0][1] == nbr
+
+
+def test_find_with_no_pointers_queries_neighbors(rig):
+    t = rig.tracker((0, 0), 1)
+    rig.deliver(t, Find(cid=None, find_id=3))
+    queries = rig.gcast.of_kind("findquery")
+    assert {d for _s, d, _p in queries} == set(rig.hierarchy.nbrs(t.clust))
+    assert all(p.find_id == 3 for _s, _d, p in queries)
+    assert t.nbrtimeout.armed
+    assert t.nbrtimeout.deadline == rig.sim.now + roundtrip(rig, 1)
+    assert t.finding  # still searching
+
+
+def test_findquery_excludes_path_parent(rig):
+    t = rig.tracker((0, 0), 1)
+    nbr = rig.hierarchy.nbrs(t.clust)[0]
+    t.p = nbr  # lateral path parent
+    rig.deliver(t, Find(cid=None, find_id=3))
+    queried = {d for _s, d, _p in rig.gcast.of_kind("findquery")}
+    assert nbr not in queried
+    assert queried == set(rig.hierarchy.nbrs(t.clust)) - {nbr}
+
+
+def test_query_timeout_escalates_to_parent(rig):
+    t = rig.tracker((0, 0), 1)
+    rig.deliver(t, Find(cid=None, find_id=3))
+    rig.gcast.clear()
+    rig.run()  # let nbrtimeout expire with no acks
+    finds = rig.gcast.of_kind("find")
+    assert finds == [
+        (t.clust, rig.hierarchy.parent(t.clust), Find(cid=t.clust, find_id=3))
+    ]
+    assert not t.finding
+
+
+def test_findack_before_timeout_redirects_find(rig):
+    t = rig.tracker((0, 0), 1)
+    target = rig.hierarchy.nbrs(t.clust)[2]
+    rig.deliver(t, Find(cid=None, find_id=3))
+    rig.gcast.clear()
+    rig.deliver(t, FindAck(pointer=target, find_id=3))
+    assert rig.gcast.of_kind("find") == [
+        (t.clust, target, Find(cid=t.clust, find_id=3))
+    ]
+    assert not t.finding
+    rig.run()  # the stale nbrtimeout expiry must not re-forward
+    assert len(rig.gcast.of_kind("find")) == 1
+
+
+def test_findack_pointing_to_self_is_ignored(rig):
+    t = rig.tracker((0, 0), 1)
+    rig.deliver(t, Find(cid=None, find_id=3))
+    rig.gcast.clear()
+    rig.deliver(t, FindAck(pointer=t.clust, find_id=3))
+    assert t.finding  # still searching
+    assert rig.gcast.of_kind("find") == []
+
+
+def test_findack_when_not_finding_is_ignored(rig):
+    t = rig.tracker((0, 0), 1)
+    rig.deliver(t, FindAck(pointer=rig.hierarchy.nbrs(t.clust)[0], find_id=1))
+    assert rig.gcast.vsa_sends == []
+
+
+def test_findquery_answered_from_child_pointer(rig):
+    t = rig.tracker((0, 0), 1)
+    child = rig.hierarchy.children(t.clust)[0]
+    asker = rig.hierarchy.nbrs(t.clust)[0]
+    t.c = child
+    rig.deliver(t, FindQuery(cid=asker, find_id=9))
+    acks = rig.gcast.of_kind("findack")
+    assert acks == [(t.clust, asker, FindAck(pointer=child, find_id=9))]
+
+
+def test_findquery_answered_from_secondary_pointers(rig):
+    t = rig.tracker((0, 0), 1)
+    nbrs = rig.hierarchy.nbrs(t.clust)
+    asker = nbrs[0]
+    rig.deliver(t, GrowNbr(cid=nbrs[1]))
+    rig.deliver(t, FindQuery(cid=asker, find_id=2))
+    assert rig.gcast.of_kind("findack")[0][2].pointer == nbrs[1]
+    rig.gcast.clear()
+    # nbrptup used only when nbrptdown is absent
+    t.nbrptdown = None
+    rig.deliver(t, GrowPar(cid=nbrs[2]))
+    rig.deliver(t, FindQuery(cid=asker, find_id=2))
+    assert rig.gcast.of_kind("findack")[0][2].pointer == nbrs[2]
+
+
+def test_findquery_with_no_pointers_is_silent(rig):
+    t = rig.tracker((0, 0), 1)
+    rig.deliver(t, FindQuery(cid=rig.hierarchy.nbrs(t.clust)[0], find_id=2))
+    assert rig.gcast.vsa_sends == []
+
+
+def test_found_at_level0_self_pointer(rig):
+    t = rig.tracker((4, 4), 0)
+    t.c = t.clust  # evader here
+    rig.deliver(t, Find(cid=None, find_id=5))
+    # found broadcast to own clients plus relayed to neighbor clusters
+    assert rig.gcast.client_sends == [(t.clust, Found(find_id=5))]
+    founds = rig.gcast.of_kind("found")
+    assert {d for _s, d, _p in founds} == set(rig.hierarchy.nbrs(t.clust))
+    assert not t.finding
+
+
+def test_found_relay_rebroadcasts_to_own_clients(rig):
+    t = rig.tracker((4, 4), 0)
+    rig.deliver(t, Found(find_id=5))
+    assert rig.gcast.client_sends == [(t.clust, Found(find_id=5))]
+    # and does not relay further (no message amplification)
+    assert rig.gcast.of_kind("found") == []
+
+
+def test_found_relay_ignored_above_level0(rig):
+    t = rig.tracker((0, 0), 1)
+    rig.deliver(t, Found(find_id=5))
+    assert rig.gcast.client_sends == []
+
+
+def test_new_find_resets_nbrtimeout(rig):
+    t = rig.tracker((0, 0), 1)
+    rig.deliver(t, Find(cid=None, find_id=1))
+    first_deadline = t.nbrtimeout.deadline
+    rig.run(1.0)
+    rig.deliver(t, Find(cid=None, find_id=2))  # nbrtimeout ← ∞, re-query
+    assert t.find_id == 2
+    assert t.nbrtimeout.deadline == rig.sim.now + roundtrip(rig, 1)
+    assert t.nbrtimeout.deadline != first_deadline
+
+
+def test_no_requery_while_query_outstanding(rig):
+    t = rig.tracker((0, 0), 1)
+    rig.deliver(t, Find(cid=None, find_id=1))
+    queries = len(rig.gcast.of_kind("findquery"))
+    rig.run(0.5)
+    # nothing external happened; tracker must not issue more queries
+    rig.executor.kick(t)
+    assert len(rig.gcast.of_kind("findquery")) == queries
+
+
+def test_late_grow_revives_stuck_find(rig):
+    """A find stuck at a pointerless process resumes when c appears."""
+    root = rig.hierarchy.root()
+    t = rig.tracker(rig.hierarchy.head(root), root.level)
+    rig.deliver(t, Find(cid=None, find_id=4))
+    assert t.finding  # no neighbors, no parent: stuck
+    child = rig.hierarchy.children(root)[0]
+    rig.deliver(t, Grow(cid=child))
+    assert not t.finding
+    assert rig.gcast.of_kind("find")[0][1] == child

@@ -1,0 +1,95 @@
+"""Unit tests for the geocast routing substrate."""
+
+import pytest
+
+from repro.geocast import GeocastRouter
+from repro.geometry import GridTiling, line_tiling
+from repro.sim import Simulator
+
+
+@pytest.fixture()
+def rig():
+    sim = Simulator()
+    tiling = GridTiling(4)
+    return sim, tiling, GeocastRouter(sim, tiling, delta=1.0)
+
+
+def test_route_is_shortest_path(rig):
+    sim, tiling, router = rig
+    path = router.route((0, 0), (3, 3))
+    assert path[0] == (0, 0)
+    assert path[-1] == (3, 3)
+    assert len(path) == 4  # Chebyshev distance 3 → 4 regions
+    for a, b in zip(path, path[1:]):
+        assert tiling.are_neighbors(a, b)
+
+
+def test_route_to_self(rig):
+    sim, tiling, router = rig
+    assert router.route((1, 1), (1, 1)) == [(1, 1)]
+
+
+def test_delivery_time_scales_with_hops(rig):
+    sim, tiling, router = rig
+    got = []
+    router.register((3, 3), lambda msg, src: got.append((sim.now, msg, src)))
+    router.send((0, 0), (3, 3), "m")
+    sim.run()
+    assert got == [(3.0, "m", (0, 0))]
+    assert router.delivered == 1
+    assert router.hops_total == 3
+
+
+def test_local_delivery_is_immediate(rig):
+    sim, tiling, router = rig
+    got = []
+    router.register((1, 1), lambda msg, src: got.append(sim.now))
+    router.send((1, 1), (1, 1), "m")
+    sim.run()
+    assert got == [0.0]
+
+
+def test_down_region_drops_message(rig):
+    sim, tiling, router = rig
+    got = []
+    router.register((3, 0), lambda msg, src: got.append(msg))
+    # Route (0,0)->(3,0) passes through (1,0),(2,0).
+    router.set_region_down((2, 0))
+    router.send((0, 0), (3, 0), "m")
+    sim.run()
+    assert got == []
+    assert router.dropped == 1
+
+
+def test_region_back_up_delivers_again(rig):
+    sim, tiling, router = rig
+    got = []
+    router.register((2, 0), lambda msg, src: got.append(msg))
+    router.set_region_down((1, 0))
+    router.set_region_down((1, 0), down=False)
+    router.send((0, 0), (2, 0), "m")
+    sim.run()
+    assert got == ["m"]
+
+
+def test_unregistered_destination_counts_dropped(rig):
+    sim, tiling, router = rig
+    router.send((0, 0), (1, 1), "m")
+    sim.run()
+    assert router.dropped == 1
+
+
+def test_disconnected_route_raises():
+    sim = Simulator()
+    from repro.geometry import GraphTiling
+
+    tiling = GraphTiling({0: [1], 2: [3]})
+    router = GeocastRouter(sim, tiling, delta=1.0)
+    with pytest.raises(ValueError):
+        router.route(0, 3)
+
+
+def test_negative_delta_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        GeocastRouter(sim, line_tiling(3), delta=-0.1)

@@ -1,0 +1,156 @@
+"""Unit tests for the base-r grid hierarchy (§II-B example)."""
+
+import pytest
+
+from repro.geometry import GridTiling
+from repro.hierarchy import (
+    ClusterId,
+    GridHierarchy,
+    grid_hierarchy,
+)
+
+
+@pytest.fixture(scope="module")
+def h2():
+    """r=2, MAX=2 world (4x4 regions)."""
+    return grid_hierarchy(2, 2)
+
+
+@pytest.fixture(scope="module")
+def h3():
+    """r=3, MAX=2 world (9x9 regions)."""
+    return grid_hierarchy(3, 2)
+
+
+def test_max_level_matches_paper_formula(h2, h3):
+    import math
+
+    for h, r in [(h2, 2), (h3, 3)]:
+        D = h.tiling.diameter()
+        assert h.max_level == math.ceil(math.log(D + 1, r))
+
+
+def test_level0_clusters_are_singletons(h2):
+    c = h2.cluster((1, 2), 0)
+    assert c == ClusterId(0, (1, 2))
+    assert h2.members(c) == [(1, 2)]
+    assert h2.head(c) == (1, 2)
+
+
+def test_level1_cluster_blocks(h2):
+    c = h2.cluster((2, 3), 1)
+    assert c == ClusterId(1, (1, 1))
+    assert sorted(h2.members(c)) == [(2, 2), (2, 3), (3, 2), (3, 3)]
+
+
+def test_single_top_cluster(h2):
+    root = h2.root()
+    assert root.level == 2
+    assert len(h2.members(root)) == 16
+
+
+def test_parent_child_consistency(h2):
+    for level in range(h2.max_level):
+        for c in h2.clusters_at_level(level):
+            parent = h2.parent(c)
+            assert parent is not None
+            assert c in h2.children(parent)
+            member = h2.members(c)[0]
+            assert h2.cluster(member, level + 1) == parent
+
+
+def test_root_has_no_parent(h2):
+    assert h2.parent(h2.root()) is None
+
+
+def test_level0_has_no_children(h2):
+    assert h2.children(h2.cluster((0, 0), 0)) == []
+
+
+def test_children_partition_parent(h3):
+    for c in h3.clusters_at_level(1):
+        kids = h3.children(c)
+        assert len(kids) == 9
+        members = sorted(m for k in kids for m in h3.members(k))
+        assert members == sorted(h3.members(c))
+
+
+def test_nbrs_are_symmetric_same_level(h2):
+    for c in h2.all_clusters():
+        for other in h2.nbrs(c):
+            assert other.level == c.level
+            assert c in h2.nbrs(other)
+            assert other != c
+
+
+def test_corner_level1_cluster_has_three_neighbors(h2):
+    c = h2.cluster((0, 0), 1)
+    assert len(h2.nbrs(c)) == 3
+
+
+def test_interior_level1_cluster_has_eight_neighbors(h3):
+    # 9x9 world at r=3 has a 3x3 arrangement of level-1 blocks.
+    c = h3.cluster((4, 4), 1)
+    assert len(h3.nbrs(c)) == 8
+
+
+def test_omega_bound_holds(h3):
+    for c in h3.all_clusters():
+        assert len(h3.nbrs(c)) <= h3.params.omega(c.level)
+
+
+def test_chain_is_nested(h2):
+    chain = h2.chain((3, 1))
+    assert [c.level for c in chain] == [0, 1, 2]
+    for lower, upper in zip(chain, chain[1:]):
+        assert set(h2.members(lower)) <= set(h2.members(upper))
+
+
+def test_head_is_member(h3):
+    for c in h3.all_clusters():
+        assert h3.head(c) in h3.members(c)
+
+
+def test_head_is_deterministic():
+    a = grid_hierarchy(2, 2)
+    b = grid_hierarchy(2, 2)
+    for c in a.all_clusters():
+        assert a.head(c) == b.head(c)
+
+
+def test_cluster_distance(h2):
+    a = h2.cluster((0, 0), 1)
+    b = h2.cluster((2, 0), 1)
+    assert h2.cluster_distance(a, b) == 1
+    far = h2.cluster((0, 0), 0)
+    assert h2.cluster_distance(far, h2.cluster((3, 3), 0)) == 3
+
+
+def test_non_square_tiling_rejected():
+    with pytest.raises(ValueError):
+        GridHierarchy(GridTiling(4, 2), 2)
+
+
+def test_non_power_side_rejected():
+    with pytest.raises(ValueError):
+        GridHierarchy(GridTiling(6), 2)
+
+
+def test_base_below_two_rejected():
+    with pytest.raises(ValueError):
+        grid_hierarchy(1, 2)
+
+
+def test_level_out_of_range_rejected(h2):
+    with pytest.raises(ValueError):
+        h2.cluster((0, 0), 5)
+    with pytest.raises(ValueError):
+        h2.clusters_at_level(-1)
+
+
+def test_are_cluster_neighbors(h2):
+    a = h2.cluster((0, 0), 1)
+    b = h2.cluster((2, 2), 1)
+    assert h2.are_cluster_neighbors(a, b)  # diagonal blocks touch at a corner
+    assert not h2.are_cluster_neighbors(a, a)
+    assert not h2.are_cluster_neighbors(a, h2.root())

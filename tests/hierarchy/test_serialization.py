@@ -1,0 +1,102 @@
+"""Round-trip tests for tiling/hierarchy serialization."""
+
+import json
+
+import pytest
+
+from repro.core import VineStalk, atomic_move_seq, capture_snapshot
+from repro.geometry import GraphTiling, GridTiling, HexTiling, Point
+from repro.hierarchy import (
+    build_agglomerative_hierarchy,
+    grid_hierarchy,
+    hierarchy_from_dict,
+    hierarchy_to_dict,
+    load_hierarchy,
+    save_hierarchy,
+    strip_hierarchy,
+    tiling_from_dict,
+    tiling_to_dict,
+    validate_hierarchy,
+    validate_structure,
+)
+from repro.mobility import FixedPath
+
+
+class TestTilingRoundTrip:
+    def test_grid(self):
+        original = GridTiling(4, 3)
+        restored = tiling_from_dict(json.loads(json.dumps(tiling_to_dict(original))))
+        assert isinstance(restored, GridTiling)
+        assert restored.regions() == original.regions()
+        assert restored.diameter() == original.diameter()
+
+    def test_hex(self):
+        original = HexTiling(2)
+        restored = tiling_from_dict(json.loads(json.dumps(tiling_to_dict(original))))
+        assert isinstance(restored, HexTiling)
+        assert restored.regions() == original.regions()
+
+    def test_graph(self):
+        original = GraphTiling({0: [1], 1: [2]}, centers={0: Point(0, 0)})
+        restored = tiling_from_dict(json.loads(json.dumps(tiling_to_dict(original))))
+        assert restored.regions() == [0, 1, 2]
+        assert restored.neighbors(1) == [0, 2]
+        assert restored.region(0).center == Point(0, 0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            tiling_from_dict({"kind": "torus"})
+
+
+class TestHierarchyRoundTrip:
+    @pytest.mark.parametrize(
+        "make",
+        [
+            lambda: grid_hierarchy(2, 2),
+            lambda: grid_hierarchy(3, 2),
+            lambda: strip_hierarchy(3, 2),
+            lambda: build_agglomerative_hierarchy(HexTiling(2), ratio=3),
+        ],
+    )
+    def test_structure_preserved(self, make):
+        original = make()
+        data = json.loads(json.dumps(hierarchy_to_dict(original)))
+        restored = hierarchy_from_dict(data)
+        validate_structure(restored)
+        assert restored.max_level == original.max_level
+        for u in original.tiling.regions():
+            for level in original.levels():
+                assert restored.cluster(u, level) == original.cluster(u, level)
+        for c in original.all_clusters():
+            assert restored.head(c) == original.head(c)
+        assert restored.params.n_values == original.params.n_values
+
+    def test_grid_round_trip_fully_validates(self):
+        restored = hierarchy_from_dict(hierarchy_to_dict(grid_hierarchy(2, 2)))
+        validate_hierarchy(restored)
+
+    def test_grid_base_restored_for_schedule_defaulting(self):
+        restored = hierarchy_from_dict(hierarchy_to_dict(grid_hierarchy(3, 2)))
+        assert restored.r == 3
+        system = VineStalk(restored)  # schedule defaults from r
+        assert system.schedule.max_level == 2
+
+    def test_vinestalk_runs_on_restored_hierarchy(self):
+        restored = hierarchy_from_dict(hierarchy_to_dict(grid_hierarchy(3, 2)))
+        system = VineStalk(restored)
+        system.sim.trace.enabled = False
+        evader = system.make_evader(
+            FixedPath([(4, 4), (3, 3)]), dwell=1e12, start=(4, 4)
+        )
+        system.run_to_quiescence()
+        evader.step()
+        system.run_to_quiescence()
+        snap = capture_snapshot(system)
+        want = atomic_move_seq(restored, [(4, 4), (3, 3)]).pointer_map()
+        assert snap.pointer_map() == want
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "world.json"
+        save_hierarchy(grid_hierarchy(2, 2), str(path))
+        restored = load_hierarchy(str(path))
+        validate_hierarchy(restored)

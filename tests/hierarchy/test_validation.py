@@ -1,0 +1,210 @@
+"""Tests for hierarchy validation against §II-B requirements."""
+
+import pytest
+
+from repro.geometry import GridTiling, line_tiling
+from repro.hierarchy import (
+    ExplicitHierarchy,
+    GeometryParams,
+    HierarchyValidationError,
+    grid_hierarchy,
+    grid_params,
+    singleton_level_map,
+    tight_params,
+    validate_geometry,
+    validate_hierarchy,
+    validate_proximity,
+    validate_structure,
+)
+
+
+@pytest.mark.parametrize("r,max_level", [(2, 1), (2, 2), (3, 1), (3, 2), (2, 3)])
+def test_grid_hierarchies_fully_validate(r, max_level):
+    validate_hierarchy(grid_hierarchy(r, max_level))
+
+
+@pytest.mark.parametrize("r,max_level", [(2, 2), (3, 1), (2, 3)])
+def test_declared_grid_params_dominate_tight_params(r, max_level):
+    """Closed forms of §II-B must upper-bound the measured geometry."""
+    h = grid_hierarchy(r, max_level)
+    tight = tight_params(h)
+    for level in range(max_level):  # n/p/q only used below MAX
+        assert tight.n(level) <= h.params.n(level)
+        assert tight.p(level) <= h.params.p(level)
+        assert tight.omega(level) <= h.params.omega(level)
+        # declared q is a sound coverage radius: q_declared <= q_tight
+        assert h.params.q(level) <= tight.q(level)
+
+
+def _line_hierarchy(length=4, head=None):
+    """A 2-level hierarchy over a line: level-1 clusters of two regions."""
+    tiling = line_tiling(length)
+    level1 = {u: u // 2 for u in tiling.regions()}
+    level2 = {u: 0 for u in tiling.regions()}
+    params = GeometryParams(
+        max_level=2,
+        n_values=(1, 3, 7),
+        p_values=(1, 3, 7),
+        q_values=(1, 2, 4),
+        omega_values=(2, 2, 0),
+    )
+    return ExplicitHierarchy(tiling, [singleton_level_map(tiling), level1, level2], params)
+
+
+def test_line_hierarchy_structure_validates():
+    validate_structure(_line_hierarchy())
+
+
+def test_two_top_clusters_rejected():
+    tiling = line_tiling(4)
+    level1 = {0: 0, 1: 0, 2: 1, 3: 1}
+    params = GeometryParams(1, (1, 3), (1, 3), (1, 2), (2, 2))
+    h = ExplicitHierarchy(tiling, [singleton_level_map(tiling), level1], params)
+    with pytest.raises(HierarchyValidationError, match="level-MAX"):
+        validate_structure(h)
+
+
+def test_non_singleton_level0_rejected():
+    tiling = line_tiling(4)
+    level0 = {0: 0, 1: 0, 2: 2, 3: 3}  # regions 0,1 share a level-0 cluster
+    level1 = {u: 0 for u in tiling.regions()}
+    params = GeometryParams(1, (1, 3), (1, 3), (1, 2), (2, 2))
+    h = ExplicitHierarchy(tiling, [level0, level1], params)
+    with pytest.raises(HierarchyValidationError, match="level-0"):
+        validate_structure(h)
+
+
+def test_disconnected_cluster_rejected():
+    tiling = line_tiling(5)
+    level1 = {0: 0, 1: 1, 2: 0, 3: 1, 4: 1}  # cluster 0 = {0, 2}: not connected
+    level2 = {u: 0 for u in tiling.regions()}
+    params = GeometryParams(2, (1, 3, 7), (1, 3, 7), (1, 2, 4), (2, 2, 0))
+    h = ExplicitHierarchy(tiling, [singleton_level_map(tiling), level1, level2], params)
+    with pytest.raises(HierarchyValidationError, match="connected"):
+        validate_structure(h)
+
+
+def test_requirement5_violation_rejected():
+    """Members of one level-1 cluster split across level-2 clusters."""
+    tiling = line_tiling(8)
+    level1 = {u: u // 3 for u in tiling.regions()}  # {0,1,2},{3,4,5},{6,7}
+    level2 = {u: u // 4 for u in tiling.regions()}  # {0..3},{4..7} splits {3,4,5}
+    level3 = {u: 0 for u in tiling.regions()}
+    params = GeometryParams(3, (1, 3, 7, 15), (2, 6, 7, 15), (1, 2, 4, 8), (2, 2, 2, 0))
+    h = ExplicitHierarchy(
+        tiling,
+        [singleton_level_map(tiling), level1, level2, level3],
+        params,
+    )
+    with pytest.raises(HierarchyValidationError, match="parents|split"):
+        validate_structure(h)
+
+
+def test_geometry_params_must_match_max_level():
+    h = _line_hierarchy()
+    bad = GeometryParams(1, (1, 3), (1, 3), (1, 2), (2, 2))
+    object.__setattr__(h, "params", bad)
+    with pytest.raises(HierarchyValidationError):
+        validate_geometry(h)
+
+
+def test_undersized_omega_rejected():
+    h = grid_hierarchy(2, 2)
+    bad = GeometryParams(
+        2,
+        h.params.n_values,
+        h.params.p_values,
+        h.params.q_values,
+        (2, 2, 2),  # interior level-0 regions have 8 neighbors
+    )
+    object.__setattr__(h, "params", bad)
+    with pytest.raises(HierarchyValidationError, match="neighbors"):
+        validate_geometry(h)
+
+
+def test_oversized_q_rejected():
+    h = grid_hierarchy(2, 2)
+    # q(1)=4 claims every region within 4 of a level-1 cluster is in the
+    # cluster or a neighbor — false on a 4x4 world (opposite corners).
+    with pytest.raises(ValueError):
+        bad = GeometryParams(
+            2,
+            h.params.n_values,
+            h.params.p_values,
+            (1, 4, 8),
+            h.params.omega_values,
+        )
+        bad.validate()
+        object.__setattr__(h, "params", bad)
+        validate_geometry(h)
+
+
+def test_proximity_holds_on_grids():
+    validate_proximity(grid_hierarchy(2, 2))
+    validate_proximity(grid_hierarchy(3, 1))
+
+
+def test_params_validate_rejects_bad_q0():
+    with pytest.raises(ValueError, match="q\\(0\\)"):
+        GeometryParams(1, (1, 3), (1, 3), (2, 2), (8, 8)).validate()
+
+
+def test_params_validate_rejects_nonmonotone_n():
+    with pytest.raises(ValueError, match="n\\(0\\)"):
+        GeometryParams(2, (5, 3, 7), (1, 3, 7), (1, 2, 4), (8, 8, 8)).validate()
+
+
+def test_params_validate_rejects_q_growth_violation():
+    with pytest.raises(ValueError, match="q"):
+        GeometryParams(2, (1, 3, 7), (1, 3, 7), (1, 1, 4), (8, 8, 8)).validate()
+
+
+def test_params_wrong_length_rejected():
+    with pytest.raises(ValueError, match="entries"):
+        GeometryParams(2, (1, 3), (1, 3, 7), (1, 2, 4), (8, 8, 8)).validate()
+
+
+def test_grid_params_formulas():
+    p = grid_params(3, 3)
+    assert p.n_values == (1, 5, 17, 53)
+    assert p.p_values == (2, 8, 26, 80)
+    assert p.q_values == (1, 3, 9, 27)
+    assert p.omega_values == (8, 8, 8, 8)
+
+
+def test_grid_params_rejects_bad_base():
+    with pytest.raises(ValueError):
+        grid_params(1, 2)
+
+
+def test_explicit_head_override():
+    tiling = line_tiling(4)
+    level1 = {u: u // 2 for u in tiling.regions()}
+    level2 = {u: 0 for u in tiling.regions()}
+    params = GeometryParams(2, (1, 3, 7), (1, 3, 7), (1, 2, 4), (2, 2, 0))
+    from repro.hierarchy import ClusterId
+
+    heads = {ClusterId(1, 0): 1}
+    h = ExplicitHierarchy(
+        tiling,
+        [singleton_level_map(tiling), level1, level2],
+        params,
+        heads=heads,
+    )
+    assert h.head(ClusterId(1, 0)) == 1
+
+
+def test_head_override_must_be_member():
+    tiling = line_tiling(4)
+    level1 = {u: u // 2 for u in tiling.regions()}
+    level2 = {u: 0 for u in tiling.regions()}
+    params = GeometryParams(2, (1, 3, 7), (1, 3, 7), (1, 2, 4), (2, 2, 0))
+    from repro.hierarchy import ClusterId
+
+    with pytest.raises(ValueError, match="member"):
+        ExplicitHierarchy(
+            tiling,
+            [singleton_level_map(tiling), level1, level2],
+            params,
+            heads={ClusterId(1, 0): 3},
+        )

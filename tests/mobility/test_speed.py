@@ -1,0 +1,82 @@
+"""Unit tests for §VI speed restrictions / settling bounds."""
+
+import pytest
+
+from repro.core import grid_schedule
+from repro.hierarchy import grid_params
+from repro.mobility import atomic_dwell, concurrent_dwell, level_update_time
+
+
+@pytest.fixture()
+def setup():
+    params = grid_params(3, 2)
+    schedule = grid_schedule(params, delta=1.0, e=0.5, r=3)
+    return params, schedule
+
+
+def test_level_update_time_monotone_in_level(setup):
+    params, schedule = setup
+    times = [
+        level_update_time(schedule, params, 1.0, 0.5, level)
+        for level in range(params.max_level + 1)
+    ]
+    assert times == sorted(times)
+    assert times[0] > 0
+
+
+def test_atomic_dwell_is_top_level_time(setup):
+    params, schedule = setup
+    assert atomic_dwell(schedule, params, 1.0, 0.5) == level_update_time(
+        schedule, params, 1.0, 0.5, params.max_level
+    )
+
+
+def test_concurrent_dwell_below_atomic():
+    # With MAX=3 there are levels above the settle level, so the §VI
+    # concurrent dwell is strictly cheaper than the atomic one.
+    params = grid_params(3, 3)
+    schedule = grid_schedule(params, delta=1.0, e=0.5, r=3)
+    assert concurrent_dwell(schedule, params, 1.0, 0.5) < atomic_dwell(
+        schedule, params, 1.0, 0.5
+    )
+
+
+def test_concurrent_dwell_equals_atomic_when_settle_covers_all(setup):
+    # With MAX=2, settling through level 1 covers every timer level.
+    params, schedule = setup
+    assert concurrent_dwell(schedule, params, 1.0, 0.5) == atomic_dwell(
+        schedule, params, 1.0, 0.5
+    )
+
+
+def test_invalid_level_rejected(setup):
+    params, schedule = setup
+    with pytest.raises(ValueError):
+        level_update_time(schedule, params, 1.0, 0.5, 99)
+    with pytest.raises(ValueError):
+        level_update_time(schedule, params, 1.0, 0.5, -1)
+
+
+def test_atomic_dwell_really_settles_moves():
+    """A dwell of atomic_dwell leaves no tracking work in flight."""
+    import random
+
+    from repro.core import VineStalk, capture_snapshot, check_consistent
+    from repro.hierarchy import grid_hierarchy
+    from repro.mobility import RandomNeighborWalk
+
+    h = grid_hierarchy(2, 2)
+    system = VineStalk(h)
+    dwell = atomic_dwell(system.schedule, h.params, system.delta, system.e)
+    evader = system.make_evader(
+        RandomNeighborWalk(start=(0, 0)),
+        dwell=dwell,
+        start=(0, 0),
+        rng=random.Random(5),
+    )
+    evader.start()
+    # Sample right before each subsequent move fires.
+    for k in range(1, 8):
+        system.sim.run_until(k * dwell - 1e-9)
+        snapshot = capture_snapshot(system)
+        assert not check_consistent(snapshot, h, evader.region)

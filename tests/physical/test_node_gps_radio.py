@@ -1,0 +1,226 @@
+"""Unit tests for the physical substrate: nodes, GPS oracle, radio, deployment."""
+
+import random
+
+import pytest
+
+from repro.geometry import GridTiling
+from repro.mobility import Evader, FixedPath, RandomNeighborWalk
+from repro.physical import (
+    GpsOracle,
+    PhysicalNode,
+    Radio,
+    one_per_region,
+    per_region_density,
+    uniform_random,
+)
+from repro.sim import Simulator
+
+
+@pytest.fixture()
+def rig():
+    sim = Simulator()
+    tiling = GridTiling(3)
+    return sim, tiling
+
+
+class TestPhysicalNode:
+    def test_move_emits_leave_enter(self, rig):
+        sim, tiling = rig
+        node = PhysicalNode(0, sim, tiling, (0, 0))
+        events = []
+        node.observe(lambda n, ev, region: events.append((ev, region)))
+        node.move_to((1, 1))
+        assert events == [("leave", (0, 0)), ("enter", (1, 1))]
+        assert node.region == (1, 1)
+
+    def test_non_neighbor_move_rejected(self, rig):
+        sim, tiling = rig
+        node = PhysicalNode(0, sim, tiling, (0, 0))
+        with pytest.raises(ValueError):
+            node.move_to((2, 2))
+
+    def test_dead_node_does_not_move(self, rig):
+        sim, tiling = rig
+        node = PhysicalNode(0, sim, tiling, (0, 0))
+        node.fail()
+        node.move_to((1, 1))
+        assert node.region == (0, 0)
+
+    def test_fail_restart_events(self, rig):
+        sim, tiling = rig
+        node = PhysicalNode(0, sim, tiling, (0, 0))
+        events = []
+        node.observe(lambda n, ev, region: events.append(ev))
+        node.fail()
+        node.fail()  # idempotent
+        node.restart()
+        assert events == ["fail", "restart"]
+
+    def test_periodic_movement(self, rig):
+        sim, tiling = rig
+        node = PhysicalNode(
+            0, sim, tiling, (0, 0), model=FixedPath([(0, 0), (1, 0), (2, 0)]), dwell=1.0
+        )
+        node.model.start_region(tiling, node.rng)
+        node.start_moving()
+        sim.run_until(2.5)
+        assert node.region == (2, 0)
+        node.stop_moving()
+
+    def test_moving_without_model_rejected(self, rig):
+        sim, tiling = rig
+        node = PhysicalNode(0, sim, tiling, (0, 0))
+        with pytest.raises(RuntimeError):
+            node.start_moving()
+
+
+class TestGpsOracle:
+    def test_initial_update_on_track(self, rig):
+        sim, tiling = rig
+        gps = GpsOracle(sim)
+        updates = []
+        gps.on_update(lambda node, region: updates.append((node.node_id, region)))
+        node = PhysicalNode(3, sim, tiling, (1, 1))
+        gps.track_node(node)
+        assert updates == [(3, (1, 1))]
+
+    def test_update_on_region_change(self, rig):
+        sim, tiling = rig
+        gps = GpsOracle(sim)
+        updates = []
+        gps.on_update(lambda node, region: updates.append(region))
+        node = PhysicalNode(0, sim, tiling, (0, 0))
+        gps.track_node(node)
+        node.move_to((1, 0))
+        assert updates == [(0, 0), (1, 0)]
+
+    def test_periodic_refresh(self, rig):
+        sim, tiling = rig
+        gps = GpsOracle(sim, refresh_period=2.0)
+        updates = []
+        gps.on_update(lambda node, region: updates.append(sim.now))
+        gps.track_node(PhysicalNode(0, sim, tiling, (0, 0)))
+        sim.run_until(7.0)
+        assert updates == [0.0, 2.0, 4.0, 6.0]
+
+    def test_evader_events_reach_clients_in_region(self, rig):
+        sim, tiling = rig
+        gps = GpsOracle(sim)
+        seen = []
+        gps.on_evader_event(lambda node, ev, region: seen.append((node.node_id, ev)))
+        gps.track_node(PhysicalNode(0, sim, tiling, (0, 0)))
+        gps.track_node(PhysicalNode(1, sim, tiling, (2, 2)))
+        evader = Evader(sim, tiling, FixedPath([(0, 0), (1, 0)]), 1.0)
+        gps.attach_evader(evader)
+        evader.enter()
+        assert seen == [(0, "move")]
+        evader.step()
+        assert seen == [(0, "move"), (0, "left")]  # nobody lives at (1,0)
+
+    def test_dead_clients_not_notified(self, rig):
+        sim, tiling = rig
+        gps = GpsOracle(sim)
+        seen = []
+        gps.on_evader_event(lambda node, ev, region: seen.append(node.node_id))
+        node = PhysicalNode(0, sim, tiling, (0, 0))
+        gps.track_node(node)
+        node.fail()
+        evader = Evader(sim, tiling, FixedPath([(0, 0)]), 1.0)
+        gps.attach_evader(evader)
+        evader.enter()
+        assert seen == []
+
+    def test_second_evader_rejected(self, rig):
+        sim, tiling = rig
+        gps = GpsOracle(sim)
+        gps.attach_evader(Evader(sim, tiling, FixedPath([(0, 0)]), 1.0))
+        with pytest.raises(RuntimeError):
+            gps.attach_evader(Evader(sim, tiling, FixedPath([(0, 0)]), 1.0))
+
+
+class TestRadio:
+    def test_broadcast_reaches_neighborhood_after_delta(self, rig):
+        sim, tiling = rig
+        radio = Radio(sim, tiling, delta=2.0)
+        received = []
+        for i, region in enumerate([(0, 0), (1, 1), (2, 2)]):
+            node = PhysicalNode(i, sim, tiling, region)
+            radio.register(node, lambda msg, src, i=i: received.append((i, sim.now)))
+        radio.broadcast((0, 0), "hello")
+        sim.run()
+        # (0,0) and (1,1) are in the neighborhood of (0,0); (2,2) is not.
+        assert received == [(0, 2.0), (1, 2.0)]
+
+    def test_dead_node_does_not_receive(self, rig):
+        sim, tiling = rig
+        radio = Radio(sim, tiling, delta=1.0)
+        received = []
+        node = PhysicalNode(0, sim, tiling, (0, 0))
+        radio.register(node, lambda msg, src: received.append(msg))
+        node.fail()
+        radio.broadcast((0, 0), "x")
+        sim.run()
+        assert received == []
+
+    def test_node_arriving_in_flight_receives(self, rig):
+        sim, tiling = rig
+        radio = Radio(sim, tiling, delta=2.0)
+        received = []
+        node = PhysicalNode(0, sim, tiling, (2, 2))
+        radio.register(node, lambda msg, src: received.append(msg))
+        radio.broadcast((0, 0), "x")
+        sim.call_at(1.0, lambda: node.move_to((1, 1)))
+        sim.run()
+        assert received == ["x"]
+
+    def test_counts(self, rig):
+        sim, tiling = rig
+        radio = Radio(sim, tiling, delta=1.0)
+        node = PhysicalNode(0, sim, tiling, (0, 0))
+        radio.register(node, lambda msg, src: None)
+        radio.broadcast((0, 0), "x")
+        sim.run()
+        assert radio.broadcasts_sent == 1
+        assert radio.deliveries == 1
+
+    def test_nodes_in(self, rig):
+        sim, tiling = rig
+        radio = Radio(sim, tiling, delta=1.0)
+        a = PhysicalNode(0, sim, tiling, (0, 0))
+        b = PhysicalNode(1, sim, tiling, (0, 0))
+        radio.register(a, lambda m, s: None)
+        radio.register(b, lambda m, s: None)
+        b.fail()
+        assert [n.node_id for n in radio.nodes_in((0, 0))] == [0]
+
+
+class TestDeployment:
+    def test_one_per_region(self, rig):
+        sim, tiling = rig
+        nodes = one_per_region(sim, tiling)
+        assert len(nodes) == 9
+        assert sorted(n.region for n in nodes) == tiling.regions()
+        assert len({n.node_id for n in nodes}) == 9
+
+    def test_per_region_density(self, rig):
+        sim, tiling = rig
+        nodes = per_region_density(sim, tiling, 3)
+        assert len(nodes) == 27
+        per_region = {}
+        for node in nodes:
+            per_region[node.region] = per_region.get(node.region, 0) + 1
+        assert all(count == 3 for count in per_region.values())
+
+    def test_uniform_random_deterministic(self, rig):
+        sim, tiling = rig
+        a = uniform_random(sim, tiling, 10, random.Random(1))
+        b = uniform_random(sim, tiling, 10, random.Random(1))
+        assert [n.region for n in a] == [n.region for n in b]
+
+    def test_negative_count_rejected(self, rig):
+        sim, tiling = rig
+        with pytest.raises(ValueError):
+            uniform_random(sim, tiling, -1, random.Random(1))
+        with pytest.raises(ValueError):
+            per_region_density(sim, tiling, -1)

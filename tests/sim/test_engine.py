@@ -1,0 +1,133 @@
+"""Unit tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.sim import SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0.0
+
+
+def test_call_at_advances_clock():
+    sim = Simulator()
+    seen = []
+    sim.call_at(4.0, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [4.0]
+    assert sim.now == 4.0
+
+
+def test_call_after_uses_relative_delay():
+    sim = Simulator()
+    seen = []
+    sim.call_at(2.0, lambda: sim.call_after(3.0, lambda: seen.append(sim.now)))
+    sim.run()
+    assert seen == [5.0]
+
+
+def test_scheduling_in_past_rejected():
+    sim = Simulator()
+    sim.call_at(5.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.call_at(1.0, lambda: None)
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.call_after(-0.1, lambda: None)
+
+
+def test_run_until_stops_at_bound_and_advances_clock():
+    sim = Simulator()
+    seen = []
+    for t in (1.0, 2.0, 8.0):
+        sim.call_at(t, lambda t=t: seen.append(t))
+    fired = sim.run_until(5.0)
+    assert fired == 2
+    assert seen == [1.0, 2.0]
+    assert sim.now == 5.0
+    assert sim.pending_events == 1
+
+
+def test_run_until_fires_events_at_exact_bound():
+    sim = Simulator()
+    seen = []
+    sim.call_at(5.0, lambda: seen.append("x"))
+    sim.run_until(5.0)
+    assert seen == ["x"]
+
+
+def test_events_at_same_time_fire_in_schedule_order():
+    sim = Simulator()
+    seen = []
+    sim.call_at(1.0, lambda: seen.append("first"))
+    sim.call_at(1.0, lambda: seen.append("second"))
+    sim.run()
+    assert seen == ["first", "second"]
+
+
+def test_event_scheduled_at_current_time_during_event_fires():
+    sim = Simulator()
+    seen = []
+
+    def outer():
+        sim.call_at(sim.now, lambda: seen.append("inner"))
+
+    sim.call_at(1.0, outer)
+    sim.run()
+    assert seen == ["inner"]
+
+
+def test_cancel_event():
+    sim = Simulator()
+    seen = []
+    ev = sim.call_at(1.0, lambda: seen.append("x"))
+    sim.cancel(ev)
+    sim.run()
+    assert seen == []
+
+
+def test_stop_from_within_event():
+    sim = Simulator()
+    seen = []
+    sim.call_at(1.0, lambda: (seen.append(1), sim.stop()))
+    sim.call_at(2.0, lambda: seen.append(2))
+    sim.run()
+    assert seen == [1]
+    assert sim.pending_events == 1
+
+
+def test_max_events_limit():
+    sim = Simulator()
+    for t in range(10):
+        sim.call_at(float(t), lambda: None)
+    fired = sim.run(max_events=3)
+    assert fired == 3
+    assert sim.pending_events == 7
+
+
+def test_events_fired_counter():
+    sim = Simulator()
+    for t in range(5):
+        sim.call_at(float(t), lambda: None)
+    sim.run()
+    assert sim.events_fired == 5
+
+
+def test_run_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def bad():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.call_at(1.0, bad)
+    sim.run()
+    assert len(errors) == 1

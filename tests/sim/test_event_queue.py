@@ -1,0 +1,90 @@
+"""Unit tests for the deterministic event queue."""
+
+import pytest
+
+from repro.sim.event_queue import EventQueue
+
+
+def test_empty_queue():
+    q = EventQueue()
+    assert len(q) == 0
+    assert not q
+    assert q.peek_time() is None
+    with pytest.raises(IndexError):
+        q.pop()
+
+
+def test_orders_by_time():
+    q = EventQueue()
+    fired = []
+    q.push(3.0, lambda: fired.append("c"))
+    q.push(1.0, lambda: fired.append("a"))
+    q.push(2.0, lambda: fired.append("b"))
+    while q:
+        q.pop().fn()
+    assert fired == ["a", "b", "c"]
+
+
+def test_fifo_within_same_time():
+    q = EventQueue()
+    events = [q.push(5.0, lambda i=i: i, tag=str(i)) for i in range(10)]
+    popped = [q.pop().tag for _ in range(10)]
+    assert popped == [str(i) for i in range(10)]
+
+
+def test_priority_breaks_time_ties():
+    q = EventQueue()
+    q.push(1.0, lambda: None, priority=5, tag="low")
+    q.push(1.0, lambda: None, priority=1, tag="high")
+    assert q.pop().tag == "high"
+    assert q.pop().tag == "low"
+
+
+def test_cancel_skips_event():
+    q = EventQueue()
+    ev = q.push(1.0, lambda: None, tag="dead")
+    q.push(2.0, lambda: None, tag="live")
+    q.cancel(ev)
+    assert len(q) == 1
+    assert q.pop().tag == "live"
+
+
+def test_cancel_is_idempotent():
+    q = EventQueue()
+    ev = q.push(1.0, lambda: None)
+    q.cancel(ev)
+    q.cancel(ev)
+    assert len(q) == 0
+    assert q.peek_time() is None
+
+
+def test_peek_time_skips_cancelled_head():
+    q = EventQueue()
+    ev = q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    q.cancel(ev)
+    assert q.peek_time() == 2.0
+
+
+def test_nan_time_rejected():
+    q = EventQueue()
+    with pytest.raises(ValueError):
+        q.push(float("nan"), lambda: None)
+
+
+def test_clear():
+    q = EventQueue()
+    q.push(1.0, lambda: None)
+    q.push(2.0, lambda: None)
+    q.clear()
+    assert len(q) == 0
+
+
+def test_interleaved_push_pop():
+    q = EventQueue()
+    q.push(10.0, lambda: None, tag="late")
+    q.push(1.0, lambda: None, tag="early")
+    assert q.pop().tag == "early"
+    q.push(5.0, lambda: None, tag="mid")
+    assert q.pop().tag == "mid"
+    assert q.pop().tag == "late"

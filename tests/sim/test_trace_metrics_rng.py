@@ -1,0 +1,128 @@
+"""Unit tests for trace log, metrics registry and RNG streams."""
+
+import pytest
+
+from repro.sim import MetricsRegistry, RngRegistry, TraceLog, summarize
+from repro.sim.rng import choice_excluding
+
+
+class TestTraceLog:
+    def test_records_in_order(self):
+        log = TraceLog()
+        log.record(1.0, "a", "send", "m1")
+        log.record(2.0, "b", "recv", "m1")
+        assert [r.kind for r in log] == ["send", "recv"]
+        assert len(log) == 2
+
+    def test_disabled_log_is_noop(self):
+        log = TraceLog(enabled=False)
+        log.record(1.0, "a", "send")
+        assert len(log) == 0
+
+    def test_filter_by_kind_source_time(self):
+        log = TraceLog()
+        log.record(1.0, "a", "send")
+        log.record(2.0, "a", "recv")
+        log.record(3.0, "b", "send")
+        assert len(log.filter(kind="send")) == 2
+        assert len(log.filter(source="a")) == 2
+        assert len(log.filter(kind="send", source="b")) == 1
+        assert len(log.filter(since=2.5)) == 1
+
+    def test_capacity_evicts_oldest(self):
+        log = TraceLog(capacity=2)
+        for t in range(5):
+            log.record(float(t), "a", "tick", t)
+        assert [r.detail for r in log] == [3, 4]
+
+    def test_subscriber_sees_all_records(self):
+        log = TraceLog(capacity=1)
+        seen = []
+        log.subscribe(lambda rec: seen.append(rec.detail))
+        for t in range(4):
+            log.record(float(t), "a", "tick", t)
+        assert seen == [0, 1, 2, 3]
+
+    def test_kinds_histogram(self):
+        log = TraceLog()
+        log.record(1.0, "a", "send")
+        log.record(1.0, "a", "send")
+        log.record(1.0, "a", "recv")
+        assert log.kinds() == {"send": 2, "recv": 1}
+
+
+class TestMetrics:
+    def test_counter_add(self):
+        reg = MetricsRegistry()
+        reg.counter("msgs").add()
+        reg.counter("msgs").add(2.5)
+        c = reg.counter("msgs")
+        assert c.count == 2
+        assert c.total == 3.5
+
+    def test_series(self):
+        reg = MetricsRegistry()
+        s = reg.series("load")
+        s.add(1.0, 10.0)
+        s.add(2.0, 30.0)
+        assert s.values() == [10.0, 30.0]
+        assert s.max() == 30.0
+        assert s.last() == 30.0
+
+    def test_snapshot_and_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("x").add(4.0)
+        assert reg.snapshot() == {"x": (1, 4.0)}
+        reg.reset()
+        assert reg.snapshot() == {}
+
+    def test_summarize(self):
+        stats = summarize([1.0, 2.0, 3.0])
+        assert stats["n"] == 3
+        assert stats["mean"] == pytest.approx(2.0)
+        assert stats["min"] == 1.0
+        assert stats["max"] == 3.0
+
+    def test_summarize_empty(self):
+        assert summarize([])["n"] == 0
+
+
+class TestRng:
+    def test_same_seed_same_draws(self):
+        a = RngRegistry(seed=7).stream("mobility")
+        b = RngRegistry(seed=7).stream("mobility")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_streams_are_independent(self):
+        reg = RngRegistry(seed=7)
+        first = [reg.stream("a").random() for _ in range(5)]
+        reg2 = RngRegistry(seed=7)
+        reg2.stream("b").random()  # interleave a draw on another stream
+        second = [reg2.stream("a").random() for _ in range(5)]
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        a = RngRegistry(seed=1).stream("x")
+        b = RngRegistry(seed=2).stream("x")
+        assert [a.random() for _ in range(3)] != [b.random() for _ in range(3)]
+
+    def test_names(self):
+        reg = RngRegistry()
+        reg.stream("b")
+        reg.stream("a")
+        assert reg.names() == ["a", "b"]
+
+    def test_choice_excluding(self):
+        reg = RngRegistry(seed=3)
+        rng = reg.stream("c")
+        for _ in range(20):
+            assert choice_excluding(rng, [1, 2, 3], 2) != 2
+
+    def test_choice_excluding_falls_back_when_only_option(self):
+        rng = RngRegistry(seed=3).stream("c")
+        assert choice_excluding(rng, [2], 2) == 2
+
+    def test_choice_excluding_empty_raises(self):
+        rng = RngRegistry(seed=3).stream("c")
+        with pytest.raises(ValueError):
+            choice_excluding(rng, [], None)
