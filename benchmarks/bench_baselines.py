@@ -9,20 +9,20 @@ distance but pays Θ(d²) per find.
 
 import pytest
 
-from repro.analysis import format_table, run_baseline_comparison
+from repro.analysis import SweepRunner, e8_jobs, format_table
 from benchmarks.conftest import emit, once
+
+LEVELS = (3, 4, 5, 6)
 
 
 @pytest.mark.benchmark(group="E8-baselines")
 def test_locality_profile_across_diameters(benchmark, capsys):
     def run():
-        table = {}
-        for M in (3, 4, 5, 6):
-            rows = run_baseline_comparison(
-                2, M, n_moves=12, n_finds=6, find_distance=2, seed=61
-            )
-            table[2**M - 1] = {row.algorithm: row for row in rows}
-        return table
+        sweeps = SweepRunner().run_values(e8_jobs(levels=LEVELS))
+        return {
+            2**M - 1: {row.algorithm: row for row in rows}
+            for M, rows in zip(LEVELS, sweeps)
+        }
 
     table = once(benchmark, run)
     algorithms = ["vinestalk", "home-agent", "awerbuch-peleg", "flooding"]

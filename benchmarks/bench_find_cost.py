@@ -10,11 +10,12 @@ import random
 import pytest
 
 from repro.analysis import (
+    SweepRunner,
     best_growth_model,
     format_table,
     growth_ratio,
+    job,
     mean_find_work_by_distance,
-    run_find_sweep,
 )
 from repro.baselines import FloodingFinder, HomeAgentLocator
 from repro.geometry import GridTiling
@@ -23,12 +24,21 @@ from benchmarks.conftest import emit, once
 DISTANCES = [1, 2, 3, 4, 6, 8, 12]
 
 
+def _sweep(seed):
+    spec = job(
+        "find_sweep",
+        r=2,
+        max_level=4,
+        distances=DISTANCES,
+        seed=seed,
+        finds_per_distance=4,
+    )
+    return SweepRunner().run_values([spec])[0]
+
+
 @pytest.mark.benchmark(group="E2-find-cost")
 def test_find_cost_linear_in_distance(benchmark, capsys):
-    results = once(
-        benchmark,
-        lambda: run_find_sweep(2, 4, DISTANCES, seed=21, finds_per_distance=4),
-    )
+    results = once(benchmark, lambda: _sweep(21))
     assert all(r.completed for r in results)
     pairs = mean_find_work_by_distance(results)
     xs = [float(d) for d, _ in pairs]
@@ -53,10 +63,7 @@ def test_find_cost_linear_in_distance(benchmark, capsys):
 
 @pytest.mark.benchmark(group="E2-find-cost")
 def test_find_latency_linear_in_distance(benchmark, capsys):
-    results = once(
-        benchmark,
-        lambda: run_find_sweep(2, 4, DISTANCES, seed=22, finds_per_distance=4),
-    )
+    results = once(benchmark, lambda: _sweep(22))
     by_d = {}
     for r in results:
         by_d.setdefault(r.distance, []).append(r.latency)
@@ -79,9 +86,7 @@ def test_find_cost_vs_flooding_and_home_agent(benchmark, capsys):
     """Who wins: VINESTALK O(d) vs flooding Θ(d²) vs home-agent Θ(D)."""
 
     def run():
-        vinestalk = mean_find_work_by_distance(
-            run_find_sweep(2, 4, DISTANCES, seed=23, finds_per_distance=4)
-        )
+        vinestalk = mean_find_work_by_distance(_sweep(23))
         tiling = GridTiling(16)
         flood = FloodingFinder(tiling)
         home = HomeAgentLocator(tiling)

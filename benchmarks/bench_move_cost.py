@@ -13,8 +13,10 @@ import math
 import pytest
 
 from repro.analysis import (
+    SweepRunner,
     format_table,
     growth_ratio,
+    job,
     move_time_bound_per_distance,
     run_move_walk,
 )
@@ -26,12 +28,19 @@ MOVES = 40
 SEED = 11
 
 
+def _move_jobs(r, levels):
+    return [
+        job("move_walk", r=r, max_level=M, n_moves=MOVES, seed=SEED)
+        for M in levels
+    ]
+
+
 @pytest.mark.benchmark(group="E1-move-cost")
 def test_move_cost_vs_diameter_r2(benchmark, capsys):
     """Work/move grows like log D for r=2 (D = 3, 7, 15, 31)."""
 
     def run():
-        return [run_move_walk(2, M, MOVES, seed=SEED) for M in (2, 3, 4, 5)]
+        return SweepRunner().run_values(_move_jobs(2, (2, 3, 4, 5)))
 
     results = once(benchmark, run)
     rows = [
@@ -66,7 +75,7 @@ def test_move_cost_vs_diameter_r3(benchmark, capsys):
     """Same shape for r=3 (D = 8, 26)."""
 
     def run():
-        return [run_move_walk(3, M, MOVES, seed=SEED) for M in (2, 3)]
+        return SweepRunner().run_values(_move_jobs(3, (2, 3)))
 
     results = once(benchmark, run)
     emit(
@@ -91,7 +100,7 @@ def test_move_settle_time_vs_bound(benchmark, capsys):
     """Amortized update time stays below the Theorem 4.9 time bound."""
 
     def run():
-        return [run_move_walk(2, M, MOVES, seed=SEED) for M in (2, 3, 4)]
+        return SweepRunner().run_values(_move_jobs(2, (2, 3, 4)))
 
     results = once(benchmark, run)
     rows = []

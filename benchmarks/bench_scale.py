@@ -3,56 +3,20 @@
 Not a paper claim per se, but the adoption question: how big a world can
 the simulation drive?  Measures world build time, per-move update cost
 and a cross-world find on up to 64×64 regions (5 461 Tracker processes).
+The probe itself lives in :func:`repro.analysis.run_scale_probe`; this
+benchmark sweeps it over three world sizes via :class:`SweepRunner`.
 """
-
-import random
-import time
 
 import pytest
 
-from repro.analysis import WorkAccountant, format_table
-from repro.core import VineStalk
-from repro.hierarchy import grid_hierarchy
-from repro.mobility import RandomNeighborWalk
+from repro.analysis import SweepRunner, format_table, scale_jobs
 from benchmarks.conftest import emit, once
-
-
-def scale_run(max_level):
-    start_build = time.perf_counter()
-    h = grid_hierarchy(2, max_level)
-    system = VineStalk(h)
-    build_seconds = time.perf_counter() - start_build
-    system.sim.trace.enabled = False
-    accountant = WorkAccountant().attach(system.cgcast)
-    regions = h.tiling.regions()
-    center = regions[len(regions) // 2]
-    evader = system.make_evader(
-        RandomNeighborWalk(start=center), dwell=1e12, start=center,
-        rng=random.Random(5),
-    )
-    system.run_to_quiescence()
-    mark = accountant.epoch()
-    for _ in range(10):
-        evader.step()
-        system.run_to_quiescence()
-    move_work = accountant.delta_since(mark).move_work / 10
-    find_id = system.issue_find(regions[0])
-    system.run_to_quiescence()
-    record = system.finds.records[find_id]
-    return {
-        "D": h.tiling.diameter(),
-        "trackers": len(system.trackers),
-        "build_s": build_seconds,
-        "move_work": move_work,
-        "find_work": record.work,
-        "find_ok": record.completed,
-    }
 
 
 @pytest.mark.benchmark(group="scale")
 def test_scale_to_4096_regions(benchmark, capsys):
     def run():
-        return [scale_run(M) for M in (4, 5, 6)]
+        return SweepRunner().run_values(scale_jobs((4, 5, 6)))
 
     rows = once(benchmark, run)
     emit(

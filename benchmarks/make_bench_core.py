@@ -1,0 +1,155 @@
+"""Generate BENCH_core.json — the fast-lane core performance artifact.
+
+Measures:
+
+* ``reference``: single-process events/sec on the reference workload
+  (16×16 r=2 world, 60-move center walk, one corner find) — the number
+  the fast-lane event loop is graded on;
+* ``sweeps``: wall-clock of the E1+E2+E8 sweep sets (plus the scale
+  probes) run serially and with ``--workers`` processes through
+  :class:`repro.analysis.SweepRunner`.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/make_bench_core.py [--quick]
+        [--workers N] [--out BENCH_core.json]
+
+``--quick`` shrinks the sweeps (fewer moves/jobs, smaller worlds) so the
+whole script finishes in well under a minute — the CI smoke mode.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import time
+from pathlib import Path
+
+from repro.analysis import SweepRunner, e1_jobs, e2_jobs, e8_jobs, scale_jobs
+from repro.analysis.experiments import build_system
+from repro.mobility.models import RandomNeighborWalk
+from repro.sim import engine
+
+
+def reference_workload() -> int:
+    """The canonical single-process workload; returns events fired."""
+    system, _ = build_system(2, 4)
+    regions = system.hierarchy.tiling.regions()
+    center = regions[len(regions) // 2]
+    evader = system.make_evader(
+        RandomNeighborWalk(start=center),
+        dwell=1e12,
+        start=center,
+        rng=random.Random(3),
+    )
+    system.run_to_quiescence()
+    for _ in range(60):
+        evader.step()
+        system.run_to_quiescence()
+    system.issue_find(regions[0])
+    system.run_to_quiescence()
+    return system.sim.events_fired
+
+
+def measure_reference(repetitions: int) -> dict:
+    reference_workload()  # warm caches / imports outside the timed reps
+    walls = []
+    events = 0
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        events = reference_workload()
+        walls.append(time.perf_counter() - start)
+    best = min(walls)
+    return {
+        "events": events,
+        "repetitions": repetitions,
+        "best_wall_s": best,
+        "events_per_sec": events / best if best > 0 else 0.0,
+    }
+
+
+def sweep_jobs(quick: bool) -> dict:
+    if quick:
+        return {
+            "E1": e1_jobs(moves=10),
+            "E2": e2_jobs(distances=(1, 2, 4), finds_per_distance=2),
+            "E8": e8_jobs(levels=(3, 4, 5)),
+            "scale": scale_jobs((4, 5)),
+        }
+    return {
+        "E1": e1_jobs(),
+        "E2": e2_jobs(),
+        "E8": e8_jobs(),
+        "scale": scale_jobs(),
+    }
+
+
+def measure_sweeps(jobs_by_experiment: dict, workers: int) -> dict:
+    """Time the combined sweep set serially and with one shared pool.
+
+    The parallel pass runs every experiment's jobs through a single
+    :class:`SweepRunner` call so the pool is forked once; per-experiment
+    wall-clock comes from the per-job measurements each path records.
+    """
+    combined = []
+    for name, jobs in jobs_by_experiment.items():
+        combined.extend((name, spec) for spec in jobs)
+    specs = [spec for _, spec in combined]
+
+    start = time.perf_counter()
+    serial_results = SweepRunner(workers=1).run(specs)
+    total_serial = time.perf_counter() - start
+    start = time.perf_counter()
+    parallel_results = SweepRunner(workers=workers).run(specs)
+    total_parallel = time.perf_counter() - start
+
+    out: dict = {"workers": workers, "experiments": {}}
+    for name in jobs_by_experiment:
+        picked = [
+            (serial, parallel)
+            for (job_name, _), serial, parallel in zip(
+                combined, serial_results, parallel_results
+            )
+            if job_name == name
+        ]
+        out["experiments"][name] = {
+            "jobs": len(picked),
+            "events": sum(serial.events for serial, _ in picked),
+            "serial_wall_s": sum(serial.wall_seconds for serial, _ in picked),
+            "parallel_cpu_s": sum(par.wall_seconds for _, par in picked),
+        }
+    out["total_serial_wall_s"] = total_serial
+    out["total_parallel_wall_s"] = total_parallel
+    out["total_speedup"] = (
+        total_serial / total_parallel if total_parallel > 0 else 0.0
+    )
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI smoke mode")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--out", type=Path, default=Path("BENCH_core.json"))
+    args = parser.parse_args(argv)
+
+    repetitions = 3 if args.quick else 7
+    reference = measure_reference(repetitions)
+    sweeps = measure_sweeps(sweep_jobs(args.quick), args.workers)
+    payload = {
+        "schema": "bench-core/1",
+        "quick": args.quick,
+        "cpu_count": os.cpu_count(),
+        "reference": reference,
+        "sweeps": sweeps,
+        "events_fired_total": engine.events_fired_total(),
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

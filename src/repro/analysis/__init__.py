@@ -24,6 +24,18 @@ from .experiments import (
     run_find_sweep,
     run_invariant_watch,
     run_move_walk,
+    run_scale_probe,
+)
+from .parallel import (
+    JobResult,
+    JobSpec,
+    SweepRunner,
+    derive_seed,
+    e1_jobs,
+    e2_jobs,
+    e8_jobs,
+    job,
+    scale_jobs,
 )
 from .fitting import GROWTH_MODELS, best_growth_model, fit_scale, growth_ratio
 from .reporting import format_series, format_table, sparkline
@@ -32,6 +44,9 @@ __all__ = [
     "ComparisonRow",
     "DitheringResult",
     "FindCostResult",
+    "JobResult",
+    "JobSpec",
+    "SweepRunner",
     "GROWTH_MODELS",
     "InvariantResult",
     "MoveCostResult",
@@ -56,6 +71,13 @@ __all__ = [
     "run_find_sweep",
     "run_invariant_watch",
     "run_move_walk",
+    "run_scale_probe",
+    "derive_seed",
+    "e1_jobs",
+    "e2_jobs",
+    "e8_jobs",
+    "job",
+    "scale_jobs",
     "search_level_for_distance",
     "sparkline",
 ]

@@ -57,16 +57,18 @@ class WorkAccountant:
 
     def observe(self, record: SendRecord) -> None:
         payload = record.payload
+        cost = record.cost
         self.messages += 1
-        kind = payload.kind if isinstance(payload, TrackerMessage) else "other"
-        self.by_kind[kind] = self.by_kind.get(kind, 0.0) + record.cost
+        is_tracker = isinstance(payload, TrackerMessage)
+        kind = payload.kind if is_tracker else "other"
+        self.by_kind[kind] = self.by_kind.get(kind, 0.0) + cost
         self.count_by_kind[kind] = self.count_by_kind.get(kind, 0) + 1
-        if isinstance(payload, TrackerMessage) and is_move_message(payload):
-            self.move_work += record.cost
-        elif isinstance(payload, TrackerMessage) and is_find_message(payload):
-            self.find_work += record.cost
+        if is_tracker and is_move_message(payload):
+            self.move_work += cost
+        elif is_tracker and is_find_message(payload):
+            self.find_work += cost
         else:
-            self.other_work += record.cost
+            self.other_work += cost
 
     def epoch(self) -> WorkSnapshot:
         """Snapshot of the cumulative totals."""

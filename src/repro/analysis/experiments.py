@@ -8,6 +8,7 @@ these.  All runners are deterministic for a fixed seed.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -604,3 +605,51 @@ def run_equivalence_check(
         if check_consistent(snapshot, hierarchy, evader.region):
             mismatches += 1
     return checked, mismatches
+
+
+# ----------------------------------------------------------------------
+# Scale probe (benchmarks/bench_scale.py, BENCH_core.json)
+# ----------------------------------------------------------------------
+def run_scale_probe(
+    max_level: int,
+    r: int = 2,
+    n_moves: int = 10,
+    seed: int = 5,
+) -> Dict[str, object]:
+    """Build a large world, drive a short walk and one cross-world find.
+
+    Measures world build time, amortized per-move work and the cost of a
+    find launched from the far corner; the scalability benchmark and the
+    BENCH_core.json generator both call this.
+    """
+    start_build = time.perf_counter()
+    hierarchy = grid_hierarchy(r, max_level)
+    system = VineStalk(hierarchy)
+    build_seconds = time.perf_counter() - start_build
+    system.sim.trace.enabled = False
+    accountant = WorkAccountant().attach(system.cgcast)
+    regions = hierarchy.tiling.regions()
+    center = regions[len(regions) // 2]
+    evader = system.make_evader(
+        RandomNeighborWalk(start=center),
+        dwell=1e12,
+        start=center,
+        rng=random.Random(seed),
+    )
+    system.run_to_quiescence()
+    mark = accountant.epoch()
+    for _ in range(n_moves):
+        evader.step()
+        system.run_to_quiescence()
+    move_work = accountant.delta_since(mark).move_work / max(1, n_moves)
+    find_id = system.issue_find(regions[0])
+    system.run_to_quiescence()
+    record = system.finds.records[find_id]
+    return {
+        "D": hierarchy.tiling.diameter(),
+        "trackers": len(system.trackers),
+        "build_s": build_seconds,
+        "move_work": move_work,
+        "find_work": record.work,
+        "find_ok": record.completed,
+    }

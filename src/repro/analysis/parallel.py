@@ -1,0 +1,231 @@
+"""Process-parallel experiment sweeps.
+
+Each experiment runner in :mod:`repro.analysis.experiments` builds a
+fresh world from an explicit seed, so a sweep (many runner calls with
+different parameters) is embarrassingly parallel.  This module fans such
+sweeps out over a :class:`concurrent.futures.ProcessPoolExecutor`:
+
+* :class:`JobSpec` — one picklable runner invocation (registry name +
+  kwargs).  Specs carry names, not callables, so workers resolve the
+  runner themselves and nothing non-picklable crosses the process
+  boundary.
+* :class:`SweepRunner` — executes a job list and returns
+  :class:`JobResult` records **in submission order**, each with the
+  runner's return value, per-job wall-clock and the number of simulator
+  events the job fired.
+* Canonical job sets (:func:`e1_jobs`, :func:`e2_jobs`, :func:`e8_jobs`,
+  :func:`scale_jobs`) mirror the benchmark sweeps byte-for-byte.
+
+Worker-count resolution: an explicit ``workers=`` argument wins;
+otherwise the ``REPRO_PARALLEL`` environment variable is consulted
+(``0``, ``1``, empty or unset → serial; an integer → that many workers;
+``auto`` → ``os.cpu_count()``).  The serial path is a plain in-process
+loop over the same jobs in the same order, so for a fixed seed its
+results are identical to the historical hand-written sweep loops, and
+(because runners derive everything from their explicit seed) identical
+to the parallel path's results too.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from importlib import import_module
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+# Registry of sweepable runners: spec name → "module:attribute".  Names
+# (not callables) keep JobSpec picklable and lazily resolvable in worker
+# processes without import cycles.
+RUNNERS: Dict[str, str] = {
+    "move_walk": "repro.analysis.experiments:run_move_walk",
+    "find_sweep": "repro.analysis.experiments:run_find_sweep",
+    "find_at_distance": "repro.analysis.experiments:run_find_at_distance",
+    "baseline_comparison": "repro.analysis.experiments:run_baseline_comparison",
+    "dithering": "repro.analysis.experiments:run_dithering",
+    "invariant_watch": "repro.analysis.experiments:run_invariant_watch",
+    "equivalence_check": "repro.analysis.experiments:run_equivalence_check",
+    "scale_probe": "repro.analysis.experiments:run_scale_probe",
+}
+
+
+def resolve_runner(name: str) -> Callable[..., Any]:
+    """Look up a registered runner by spec name."""
+    try:
+        target = RUNNERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown runner {name!r}; registered: {sorted(RUNNERS)}"
+        ) from None
+    module_name, _, attr = target.partition(":")
+    return getattr(import_module(module_name), attr)
+
+
+def derive_seed(base: int, *parts: Any) -> int:
+    """Stable per-job seed from a sweep-level base seed and job labels.
+
+    Uses CRC32 over the repr of the parts (never :func:`hash`, whose str
+    hashing is salted per process), so the same job gets the same seed in
+    the parent, in any worker, and across runs.
+    """
+    text = repr((base, parts)).encode()
+    return (base * 1_000_003 + zlib.crc32(text)) % (2**31)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One picklable runner invocation."""
+
+    runner: str
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def label(self) -> str:
+        args = ", ".join(f"{k}={v!r}" for k, v in self.kwargs.items())
+        return f"{self.runner}({args})"
+
+
+def job(runner: str, **kwargs: Any) -> JobSpec:
+    """Shorthand constructor: ``job("move_walk", r=2, max_level=4, ...)``."""
+    return JobSpec(runner=runner, kwargs=kwargs)
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job: the runner's return value plus measurements."""
+
+    spec: JobSpec
+    value: Any
+    wall_seconds: float
+    events: int
+
+    @property
+    def events_per_sec(self) -> float:
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.events / self.wall_seconds
+
+
+def _execute(spec: JobSpec) -> JobResult:
+    """Run one job in the current process (parent or pool worker)."""
+    from ..sim import engine
+
+    fn = resolve_runner(spec.runner)
+    events_before = engine.events_fired_total()
+    start = time.perf_counter()
+    value = fn(**spec.kwargs)
+    wall = time.perf_counter() - start
+    events = engine.events_fired_total() - events_before
+    return JobResult(spec=spec, value=value, wall_seconds=wall, events=events)
+
+
+def _resolve_workers(workers: Optional[int]) -> int:
+    if workers is not None:
+        return max(1, int(workers))
+    env = os.environ.get("REPRO_PARALLEL", "").strip()
+    if env in ("", "0", "1"):
+        return 1
+    if env.lower() == "auto":
+        return os.cpu_count() or 1
+    try:
+        return max(1, int(env))
+    except ValueError:
+        raise ValueError(
+            f"REPRO_PARALLEL={env!r} is not an integer, 'auto' or empty"
+        ) from None
+
+
+class SweepRunner:
+    """Executes experiment sweeps, serially or across worker processes.
+
+    Args:
+        workers: Worker-process count.  ``None`` defers to the
+            ``REPRO_PARALLEL`` environment variable (default serial);
+            ``<= 1`` forces the serial in-process path.
+        chunksize: Jobs handed to a worker per round trip (parallel path
+            only).  Larger chunks amortize pickling for many small jobs.
+
+    Results always come back in submission order regardless of which
+    worker finished first, so downstream tables are deterministic.
+    """
+
+    def __init__(self, workers: Optional[int] = None, chunksize: int = 1) -> None:
+        self.workers = _resolve_workers(workers)
+        self.chunksize = max(1, int(chunksize))
+
+    def run(self, jobs: Sequence[JobSpec]) -> List[JobResult]:
+        """Execute every job; results in submission order."""
+        jobs = list(jobs)
+        for spec in jobs:  # fail fast on typos, before forking
+            resolve_runner(spec.runner)
+        if self.workers <= 1 or len(jobs) <= 1:
+            return [_execute(spec) for spec in jobs]
+        with ProcessPoolExecutor(max_workers=self.workers) as executor:
+            return list(executor.map(_execute, jobs, chunksize=self.chunksize))
+
+    def run_values(self, jobs: Sequence[JobSpec]) -> List[Any]:
+        """Like :meth:`run`, but return just the runner return values."""
+        return [result.value for result in self.run(jobs)]
+
+
+# ----------------------------------------------------------------------
+# Canonical sweep job sets (mirroring benchmarks/bench_*.py)
+# ----------------------------------------------------------------------
+def e1_jobs(moves: int = 40, seed: int = 11) -> List[JobSpec]:
+    """E1 move-cost sweep: r=2 and r=3 diameter series plus burstiness."""
+    jobs = [
+        job("move_walk", r=2, max_level=M, n_moves=moves, seed=seed)
+        for M in (2, 3, 4, 5)
+    ]
+    jobs += [
+        job("move_walk", r=3, max_level=M, n_moves=moves, seed=seed)
+        for M in (2, 3)
+    ]
+    jobs.append(job("move_walk", r=2, max_level=4, n_moves=2 * moves, seed=seed))
+    return jobs
+
+
+def e2_jobs(
+    distances: Sequence[int] = (1, 2, 3, 4, 6, 8, 12),
+    finds_per_distance: int = 4,
+) -> List[JobSpec]:
+    """E2 find-cost sweep: one job per seeded 16×16 sweep."""
+    return [
+        job(
+            "find_sweep",
+            r=2,
+            max_level=4,
+            distances=list(distances),
+            seed=seed,
+            finds_per_distance=finds_per_distance,
+        )
+        for seed in (21, 22, 23)
+    ]
+
+
+def e8_jobs(
+    levels: Sequence[int] = (3, 4, 5, 6),
+    n_moves: int = 12,
+    n_finds: int = 6,
+    find_distance: int = 2,
+    seed: int = 61,
+) -> List[JobSpec]:
+    """E8 baseline-comparison sweep: one job per world size."""
+    return [
+        job(
+            "baseline_comparison",
+            r=2,
+            max_level=M,
+            n_moves=n_moves,
+            n_finds=n_finds,
+            find_distance=find_distance,
+            seed=seed,
+        )
+        for M in levels
+    ]
+
+
+def scale_jobs(levels: Sequence[int] = (4, 5, 6)) -> List[JobSpec]:
+    """Scalability sweep: one job per world size (r=2)."""
+    return [job("scale_probe", max_level=M) for M in levels]

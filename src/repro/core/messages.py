@@ -20,9 +20,15 @@ from ..hierarchy.cluster import ClusterId
 class TrackerMessage:
     """Base class of all tracking-protocol messages."""
 
+    _kind = "trackermessage"
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        cls._kind = cls.__name__.lower()
+
     @property
     def kind(self) -> str:
-        return type(self).__name__.lower()
+        return self._kind
 
 
 @dataclass(frozen=True)

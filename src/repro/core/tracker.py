@@ -44,6 +44,15 @@ from .timers import TimerSchedule
 
 BOTTOM = None  # ⊥ of Fig. 2
 
+# Payload-free actions are immutable; shared instances avoid rebuilding
+# them inside enabled_outputs(), which runs after every discrete step.
+_SENDQ_HEAD = Action.output("sendq_head")
+_FINDACKQ_HEAD = Action.output("findAckq_head")
+_GROW_SEND = Action.output("grow_send")
+_SHRINK_SEND = Action.output("shrink_send")
+_FOUND_SEND = Action.output("found_send")
+_FINDQUERY = Action.internal("findquery")
+
 
 class Tracker(TimedAutomaton):
     """Cluster process ``clust = cluster(u, lvl)`` with ``h(clust) = u``.
@@ -91,6 +100,7 @@ class Tracker(TimedAutomaton):
         self.findAckq: List[tuple] = []  # (dest, FindAck)
         self.finding = False
         self.find_id = 0  # bookkeeping tag of the find in service
+        self._recv_handlers: dict = {}  # message kind → bound _recv_* method
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -132,9 +142,13 @@ class Tracker(TimedAutomaton):
     # Input: cTOBrcv — dispatch on message type
     # ------------------------------------------------------------------
     def input_cTOBrcv(self, message: TrackerMessage) -> None:
-        handler = getattr(self, f"_recv_{message.kind}", None)
+        kind = message.kind
+        handler = self._recv_handlers.get(kind)
         if handler is None:
-            raise TypeError(f"{self.name}: unhandled message {message!r}")
+            handler = getattr(self, f"_recv_{kind}", None)
+            if handler is None:
+                raise TypeError(f"{self.name}: unhandled message {message!r}")
+            self._recv_handlers[kind] = handler
         self.trace("rcv", message)
         handler(message)
 
@@ -223,20 +237,17 @@ class Tracker(TimedAutomaton):
     # ------------------------------------------------------------------
     def enabled_outputs(self) -> List[Action]:
         """Enabled outputs, in deterministic precedence order."""
-        out: List[Action] = []
         if self.sendq:
-            out.append(Action.output("sendq_head"))
-            return out
+            return [_SENDQ_HEAD]
         if self.findAckq:
-            out.append(Action.output("findAckq_head"))
-            return out
-        # Grow send: now = timer ∧ c ≠ ⊥ ∧ p = ⊥.
-        if self.timer.expired() and self.c is not BOTTOM and self.p is BOTTOM:
-            return [Action.output("grow_send")]
-        # Shrink send: now = timer ∧ c = ⊥ ∧ p ≠ ⊥.
-        if self.timer.expired() and self.c is BOTTOM and self.p is not BOTTOM:
-            return [Action.output("shrink_send")]
+            return [_FINDACKQ_HEAD]
         if self.timer.expired():
+            # Grow send: now = timer ∧ c ≠ ⊥ ∧ p = ⊥.
+            if self.c is not BOTTOM and self.p is BOTTOM:
+                return [_GROW_SEND]
+            # Shrink send: now = timer ∧ c = ⊥ ∧ p ≠ ⊥.
+            if self.c is BOTTOM and self.p is not BOTTOM:
+                return [_SHRINK_SEND]
             # Timer fired but neither grow nor shrink is enabled (the
             # pointer it guarded was changed in flight): disarm lazily.
             self.timer.disarm()
@@ -244,13 +255,13 @@ class Tracker(TimedAutomaton):
             found_or_forward = self._find_progress_action()
             if found_or_forward is not None:
                 return [found_or_forward]
-        return out
+        return []
 
     def _find_progress_action(self) -> Optional[Action]:
         """The enabled find-related action, if any (Fig. 2 find section)."""
         # found: finding ∧ c = clust.
         if self.c == self.clust:
-            return Action.output("found_send")
+            return _FOUND_SEND
         # find forward: tracing via c, or searching via pointers/timeout.
         dest = self._find_forward_dest()
         if dest is not None:
@@ -262,7 +273,7 @@ class Tracker(TimedAutomaton):
             and self.nbrptup in (BOTTOM, self.p)
             and self.nbrtimeout.deadline > self.now + self._query_roundtrip()
         ):
-            return Action.internal("findquery")
+            return _FINDQUERY
         return None
 
     def _find_forward_dest(self) -> Optional[ClusterId]:

@@ -30,7 +30,7 @@ from ..geometry.regions import RegionId
 from ..hierarchy.cluster import ClusterId
 from ..hierarchy.hierarchy import ClusterHierarchy
 from ..sim.engine import Simulator
-from ..tioa.actions import Action
+from ..tioa.actions import Action, ActionKind
 from ..tioa.automaton import TimedAutomaton
 
 
@@ -93,6 +93,9 @@ class CGcast:
         self.total_cost = 0.0
         # Messages currently in transit: list of (src, dest, payload, deliver_time).
         self._in_transit: List[list] = []
+        # (src, dest) → distance units.  The hierarchy is immutable after
+        # construction, so the §II-C.3 rule outcome never changes.
+        self._units_cache: Dict[tuple, int] = {}
 
     # ------------------------------------------------------------------
     # Registration
@@ -129,7 +132,16 @@ class CGcast:
         """Distance units of a VSA→VSA message per rules (a)-(c).
 
         This is both the charged work and (times ``δ+e``) the delay.
+        Memoized per (src, dest): the hierarchy is static.
         """
+        key = (src, dest)
+        units = self._units_cache.get(key)
+        if units is None:
+            units = self._compute_distance_units(src, dest)
+            self._units_cache[key] = units
+        return units
+
+    def _compute_distance_units(self, src: ClusterId, dest: ClusterId) -> int:
         h = self.hierarchy
         params = h.params
         if src.level == dest.level:
@@ -233,7 +245,9 @@ class CGcast:
     ) -> None:
         if target.failed:
             return
-        action = Action.input("cTOBrcv", message=payload)
+        # Inline Action.input("cTOBrcv", message=payload): single-key
+        # payloads need no sort, and this is the hottest delivery path.
+        action = Action("cTOBrcv", ActionKind.INPUT, (("message", payload),))
         target.handle_input(action)
         # Urgency: drain locally controlled actions of the receiver.
         target.executor.kick(target)

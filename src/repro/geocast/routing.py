@@ -50,20 +50,44 @@ class GeocastRouter:
         self._receivers[region] = receiver
 
     def set_region_down(self, region: RegionId, down: bool = True) -> None:
-        """Mark a region as unable to forward (its VSA is failed)."""
+        """Mark a region as unable to forward (its VSA is failed).
+
+        Any change to the down-set invalidates the route cache: the
+        underlying geocast is self-stabilizing, so fresh sends must not
+        keep following a cached shortest path through a failed region
+        (nor keep detouring around a recovered one).
+        """
+        changed = (region not in self._down) if down else (region in self._down)
         if down:
             self._down.add(region)
         else:
             self._down.discard(region)
+        if changed:
+            self._route_cache.clear()
 
     def route(self, src: RegionId, dest: RegionId) -> List[RegionId]:
-        """Shortest path from ``src`` to ``dest`` (inclusive of both)."""
+        """Shortest live path from ``src`` to ``dest`` (inclusive of both).
+
+        Failed regions are routed around when a detour exists.  When the
+        down-set disconnects the endpoints (or an endpoint itself is
+        down), the down-agnostic shortest path is returned instead and
+        the message is dropped at the failed hop — matching the physical
+        behavior of forwarding into a dead region.
+        """
         key = (src, dest)
         if key not in self._route_cache:
-            self._route_cache[key] = self._bfs_path(src, dest)
+            try:
+                path = self._bfs_path(src, dest, avoid=self._down)
+            except ValueError:
+                path = self._bfs_path(src, dest)
+            self._route_cache[key] = path
         return list(self._route_cache[key])
 
-    def _bfs_path(self, src: RegionId, dest: RegionId) -> List[RegionId]:
+    def _bfs_path(
+        self, src: RegionId, dest: RegionId, avoid: frozenset = frozenset()
+    ) -> List[RegionId]:
+        if src in avoid or dest in avoid:
+            raise ValueError(f"endpoint down: no live route {src!r} -> {dest!r}")
         if src == dest:
             return [src]
         parent: Dict[RegionId, RegionId] = {src: src}
@@ -71,7 +95,7 @@ class GeocastRouter:
         while frontier:
             cur = frontier.popleft()
             for nxt in self.tiling.neighbors(cur):
-                if nxt not in parent:
+                if nxt not in parent and nxt not in avoid:
                     parent[nxt] = cur
                     if nxt == dest:
                         path = [dest]

@@ -56,6 +56,13 @@ class GridHierarchy(ExplicitHierarchy):
 
     # Closed-form overrides (the generic versions are correct but slower).
     def cluster(self, u: RegionId, level: int) -> ClusterId:
+        # Fast path: the explicit assignment map already interns one
+        # ClusterId per (region, level); returning it keeps ids identical
+        # (``is``) across the system, which downstream dict lookups and
+        # equality checks exploit.
+        cid = self._assignment.get((u, level))
+        if cid is not None:
+            return cid
         if not 0 <= level <= self.max_level:
             raise ValueError(f"level {level} outside 0..{self.max_level}")
         if level == 0:
@@ -67,7 +74,33 @@ class GridHierarchy(ExplicitHierarchy):
         if c.level == self.max_level:
             return None
         col, row = c.key  # level-0 keys are region ids, which are also pairs
-        return ClusterId(c.level + 1, (col // self.r, row // self.r))
+        block = self.r ** (c.level + 1)
+        anchor = ((col // self.r) * block, (row // self.r) * block)
+        return self.cluster(anchor, c.level + 1)
+
+    def nbrs(self, c: ClusterId) -> List[ClusterId]:
+        """Closed-form block adjacency (≤ 8 neighbors on the grid).
+
+        Equivalent to the generic member-boundary scan: full ``r^l``
+        blocks share a boundary point exactly when their block coords
+        differ by at most one per axis.
+        """
+        cached = self._nbrs_cache.get(c)
+        if cached is None:
+            block = self.r**c.level
+            n_blocks = self.tiling.width // block
+            bc, br = c.key  # level-0 keys are region ids: same shape
+            out = []
+            for dc in (-1, 0, 1):
+                for dr in (-1, 0, 1):
+                    if dc == 0 and dr == 0:
+                        continue
+                    oc, orow = bc + dc, br + dr
+                    if 0 <= oc < n_blocks and 0 <= orow < n_blocks:
+                        out.append(self.cluster((oc * block, orow * block), c.level))
+            out.sort()
+            self._nbrs_cache[c] = cached = out
+        return list(cached)
 
 
 def grid_hierarchy(r: int, max_level: int) -> GridHierarchy:

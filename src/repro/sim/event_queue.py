@@ -7,6 +7,14 @@ deterministic for a fixed seed and schedule order.
 
 Cancellation is O(1): a cancelled :class:`Event` stays in the heap but is
 skipped when popped (lazy deletion).
+
+Fast lane: the heap stores ``(time, priority, seq, event)`` tuples rather
+than bare :class:`Event` objects, so every heap sift compares keys with
+C-level tuple comparison instead of calling ``Event.__lt__``.  The ``seq``
+component is unique per queue, so a comparison never reaches the event
+itself.  :meth:`pop_next_before` fuses the cancelled-entry sweep with the
+pop, which lets the simulator loop do a single head scan per fired event
+(``peek_time()`` + ``pop()`` each re-scan the head).
 """
 
 from __future__ import annotations
@@ -65,10 +73,14 @@ class Event:
 
 
 class EventQueue:
-    """Min-heap of :class:`Event` objects with lazy cancellation."""
+    """Min-heap of :class:`Event` handles with lazy cancellation.
+
+    Heap entries are ``(time, priority, seq, event)`` tuples; the public
+    interface still deals in :class:`Event` handles.
+    """
 
     def __init__(self) -> None:
-        self._heap: list[Event] = []
+        self._heap: list[tuple] = []
         self._counter = itertools.count()
         self._live = 0
 
@@ -88,8 +100,9 @@ class EventQueue:
         """Schedule ``fn`` at ``time`` and return a cancellable handle."""
         if time != time:  # NaN guard
             raise ValueError("event time must not be NaN")
-        event = Event(time, priority, next(self._counter), fn, tag)
-        heapq.heappush(self._heap, event)
+        seq = next(self._counter)
+        event = Event(time, priority, seq, fn, tag)
+        heapq.heappush(self._heap, (time, priority, seq, event))
         self._live += 1
         return event
 
@@ -99,8 +112,8 @@ class EventQueue:
         Idempotent, and a no-op for events that already fired (a timer
         may legitimately disarm itself from inside its own wakeup).
         """
-        if not event.cancelled and not event._popped:
-            event.cancel()
+        if not event._cancelled and not event._popped:
+            event._cancelled = True
             self._live -= 1
 
     def peek_time(self) -> Optional[float]:
@@ -108,7 +121,7 @@ class EventQueue:
         self._drop_cancelled()
         if not self._heap:
             return None
-        return self._heap[0].time
+        return self._heap[0][0]
 
     def pop(self) -> Event:
         """Remove and return the earliest live event.
@@ -116,18 +129,40 @@ class EventQueue:
         Raises:
             IndexError: if the queue holds no live events.
         """
-        self._drop_cancelled()
-        if not self._heap:
+        event = self.pop_next_before(None)
+        if event is None:
             raise IndexError("pop from empty EventQueue")
-        event = heapq.heappop(self._heap)
-        event._popped = True
-        self._live -= 1
         return event
+
+    def pop_next_before(self, until: Optional[float]) -> Optional[Event]:
+        """Pop the earliest live event with ``time <= until`` in one sweep.
+
+        Cancelled entries at the head are discarded as part of the same
+        scan.  Returns ``None`` — leaving the head in place — when the
+        queue holds no live event or the earliest one lies beyond
+        ``until`` (``until=None`` means no bound).
+        """
+        heap = self._heap
+        heappop = heapq.heappop
+        while heap:
+            head = heap[0]
+            event = head[3]
+            if event._cancelled:
+                heappop(heap)
+                continue
+            if until is not None and head[0] > until:
+                return None
+            heappop(heap)
+            event._popped = True
+            self._live -= 1
+            return event
+        return None
 
     def clear(self) -> None:
         self._heap.clear()
         self._live = 0
 
     def _drop_cancelled(self) -> None:
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
+        heap = self._heap
+        while heap and heap[0][3]._cancelled:
+            heapq.heappop(heap)

@@ -7,6 +7,7 @@ orderings and to reconstruct executions; benchmarks usually disable it.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Optional
 
@@ -37,9 +38,20 @@ class TraceLog:
 
     def __init__(self, enabled: bool = True, capacity: Optional[int] = None) -> None:
         self.enabled = enabled
-        self.capacity = capacity
-        self._records: list[TraceRecord] = []
+        self._records: deque[TraceRecord] = deque(maxlen=capacity)
         self._subscribers: list[Callable[[TraceRecord], None]] = []
+
+    @property
+    def capacity(self) -> Optional[int]:
+        """Retention bound; the oldest records are evicted past it."""
+        return self._records.maxlen
+
+    @capacity.setter
+    def capacity(self, capacity: Optional[int]) -> None:
+        if capacity != self._records.maxlen:
+            # A deque's maxlen is immutable; rebuild, keeping the newest
+            # records (matching what bounded appends would have kept).
+            self._records = deque(self._records, maxlen=capacity)
 
     def __len__(self) -> int:
         return len(self._records)
@@ -48,13 +60,15 @@ class TraceLog:
         return iter(self._records)
 
     def record(self, time: float, source: str, kind: str, detail: Any = None) -> None:
-        """Append a record (no-op when disabled)."""
+        """Append a record (no-op when disabled).
+
+        Eviction past ``capacity`` is O(1): the backing deque drops the
+        oldest record as the new one lands.
+        """
         if not self.enabled:
             return
         rec = TraceRecord(time, source, kind, detail)
         self._records.append(rec)
-        if self.capacity is not None and len(self._records) > self.capacity:
-            del self._records[: len(self._records) - self.capacity]
         for fn in self._subscribers:
             fn(rec)
 

@@ -39,6 +39,10 @@ class TimedAutomaton:
         self.name = name
         self.failed = False
         self._executor = None
+        # Resolved handler caches: action name → bound method.  getattr
+        # with an f-string key is hot; resolution happens once per name.
+        self._input_handlers: dict = {}
+        self._perform_handlers: dict = {}
 
     # ------------------------------------------------------------------
     # Executor binding
@@ -55,10 +59,18 @@ class TimedAutomaton:
     @property
     def now(self) -> float:
         """Current (accurate) local clock, equal to real time."""
-        return self.executor.now
+        executor = self._executor
+        if executor is None:
+            raise AutomatonError(f"automaton {self.name!r} is not attached")
+        return executor.sim.now
 
     def trace(self, kind: str, detail: Any = None) -> None:
-        self.executor.trace(self, kind, detail)
+        executor = self._executor
+        if executor is None:
+            raise AutomatonError(f"automaton {self.name!r} is not attached")
+        trace = executor.sim.trace
+        if trace.enabled:
+            trace.record(executor.sim.now, self.name, kind, detail)
 
     # ------------------------------------------------------------------
     # Failure model (stopping failures + restart, §II-C.1/2)
@@ -95,10 +107,13 @@ class TimedAutomaton:
             return
         if action.kind is not ActionKind.INPUT:
             raise AutomatonError(f"{self.name!r}: {action!r} is not an input")
-        handler = getattr(self, f"input_{action.name}", None)
+        handler = self._input_handlers.get(action.name)
         if handler is None:
-            raise AutomatonError(f"{self.name!r} has no handler for {action!r}")
-        handler(**action.kwargs)
+            handler = getattr(self, f"input_{action.name}", None)
+            if handler is None:
+                raise AutomatonError(f"{self.name!r} has no handler for {action!r}")
+            self._input_handlers[action.name] = handler
+        handler(**dict(action.payload))
 
     def enabled_outputs(self) -> List[Action]:
         """Locally controlled actions whose preconditions hold right now.
@@ -113,11 +128,15 @@ class TimedAutomaton:
         """Apply a locally controlled action's effect."""
         if self.failed:
             raise AutomatonError(f"{self.name!r} performed {action!r} while failed")
-        prefix = "output_" if action.kind is ActionKind.OUTPUT else "internal_"
-        handler = getattr(self, f"{prefix}{action.name}", None)
+        key = (action.kind, action.name)
+        handler = self._perform_handlers.get(key)
         if handler is None:
-            raise AutomatonError(f"{self.name!r} has no effect for {action!r}")
-        handler(**action.kwargs)
+            prefix = "output_" if action.kind is ActionKind.OUTPUT else "internal_"
+            handler = getattr(self, f"{prefix}{action.name}", None)
+            if handler is None:
+                raise AutomatonError(f"{self.name!r} has no effect for {action!r}")
+            self._perform_handlers[key] = handler
+        handler(**dict(action.payload))
 
     # ------------------------------------------------------------------
     # Timer wakeups

@@ -63,7 +63,9 @@ class Executor:
         return self.sim.now
 
     def trace(self, automaton: TimedAutomaton, kind: str, detail: Any = None) -> None:
-        self.sim.trace.record(self.sim.now, automaton.name, kind, detail)
+        trace = self.sim.trace
+        if trace.enabled:
+            trace.record(self.sim.now, automaton.name, kind, detail)
 
     # ------------------------------------------------------------------
     # Output observation
@@ -110,16 +112,21 @@ class Executor:
 
     def _drain(self, automaton: TimedAutomaton) -> None:
         """Fire enabled locally controlled actions until quiescent."""
+        trace = self.sim.trace
+        subscribers = self._subscribers
+        enabled_outputs = automaton.enabled_outputs
+        perform = automaton.perform
         for _ in range(_MAX_DRAIN_STEPS):
             if automaton.failed:
                 return
-            enabled = automaton.enabled_outputs()
+            enabled = enabled_outputs()
             if not enabled:
                 return
             action = enabled[0]
-            self.trace(automaton, "perform", action)
-            automaton.perform(action)
-            for subscriber in self._subscribers:
+            if trace.enabled:
+                trace.record(self.sim.now, automaton.name, "perform", action)
+            perform(action)
+            for subscriber in subscribers:
                 subscriber(automaton, action)
         raise AutomatonError(
             f"automaton {automaton.name!r} did not quiesce after "

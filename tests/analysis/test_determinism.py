@@ -1,0 +1,158 @@
+"""Determinism regression tests for the fast-lane core.
+
+The golden numbers below were captured on the pre-fast-lane event loop;
+the tuple-keyed queue, fused pop and hot-path caches must reproduce them
+bit-for-bit — same seed, same work totals, same trace histogram, same
+simulated clock.  A serial and a process-parallel sweep over the same
+jobs must also agree exactly.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import (
+    SweepRunner,
+    build_system,
+    job,
+    run_baseline_comparison,
+    run_find_sweep,
+    run_move_walk,
+)
+from repro.mobility import RandomNeighborWalk
+
+# Golden values captured from the seed implementation (r=2, MAX=3 world).
+GOLDEN_E1_PER_MOVE_WORK = [
+    8.0, 35.0, 8.0, 14.0, 14.0, 53.0, 11.0, 117.0, 11.0, 47.0,
+]
+GOLDEN_TRACE_KINDS = {
+    "move": 6,
+    "cTOBsend": 12,
+    "rcv": 132,
+    "perform": 122,
+    "grow-sent": 9,
+    "left": 5,
+    "shrink-sent": 4,
+    "input": 1,
+    "findquery": 1,
+    "find-forward": 4,
+    "found": 1,
+    "found-output": 1,
+}
+GOLDEN_E8_ROWS = [
+    ("vinestalk", 145.0, 82.0),
+    ("home-agent", 21.0, 14.0),
+    ("awerbuch-peleg", 102.0, 47.0),
+    ("flooding", 0.0, 73.0),
+]
+GOLDEN_E2_ROWS = [
+    (1, 8.0, 4.0, True),
+    (1, 8.0, 4.0, True),
+    (2, 19.0, 13.0, True),
+    (2, 23.0, 13.0, True),
+    (3, 20.0, 13.0, True),
+    (3, 51.0, 37.0, True),
+]
+
+
+class TestGoldenValues:
+    def test_move_walk_work_totals(self):
+        res = run_move_walk(2, 3, 10, seed=11)
+        assert res.per_move_work == GOLDEN_E1_PER_MOVE_WORK
+        assert res.total_move_work == 318.0
+        assert res.work_per_distance == 31.8
+        assert res.mean_settle_time == 12.85
+        assert res.max_settle_time == 40.0
+
+    def test_trace_kind_histogram_and_accountant(self):
+        system, accountant = build_system(2, 3)
+        system.sim.trace.enabled = True
+        regions = system.hierarchy.tiling.regions()
+        center = regions[len(regions) // 2]
+        evader = system.make_evader(
+            RandomNeighborWalk(start=center),
+            dwell=1e12,
+            start=center,
+            rng=random.Random(7),
+        )
+        system.run_to_quiescence()
+        for _ in range(5):
+            evader.step()
+            system.run_to_quiescence()
+        system.issue_find(regions[0])
+        system.run_to_quiescence()
+        assert system.sim.trace.kinds() == GOLDEN_TRACE_KINDS
+        assert accountant.move_work == 168.0
+        assert accountant.find_work == 29.0
+        assert accountant.other_work == 0.0
+        assert accountant.messages == 141
+        assert system.sim.events_fired == 149
+        assert system.sim.now == 71.5
+
+    def test_baseline_comparison_rows(self):
+        rows = run_baseline_comparison(
+            2, 3, n_moves=6, n_finds=3, find_distance=2, seed=61
+        )
+        assert [(r.algorithm, r.move_work, r.find_work) for r in rows] == (
+            GOLDEN_E8_ROWS
+        )
+
+    def test_find_sweep_rows(self):
+        rows = run_find_sweep(2, 3, [1, 2, 3], seed=21, finds_per_distance=2)
+        assert [
+            (r.distance, r.work, r.latency, r.completed) for r in rows
+        ] == GOLDEN_E2_ROWS
+
+    def test_same_seed_twice_is_identical(self):
+        first = run_move_walk(2, 3, 10, seed=42)
+        second = run_move_walk(2, 3, 10, seed=42)
+        assert first == second
+
+
+SWEEP_JOBS = [
+    job("move_walk", r=2, max_level=3, n_moves=8, seed=11),
+    job("move_walk", r=2, max_level=3, n_moves=8, seed=12),
+    job("find_sweep", r=2, max_level=3, distances=[1, 2], seed=21,
+        finds_per_distance=2),
+    job("baseline_comparison", r=2, max_level=3, n_moves=4, n_finds=2,
+        find_distance=2, seed=61),
+]
+
+
+class TestSweepRunnerDeterminism:
+    def test_serial_matches_direct_loop(self):
+        direct = [
+            run_move_walk(2, 3, 8, seed=11),
+            run_move_walk(2, 3, 8, seed=12),
+            run_find_sweep(2, 3, [1, 2], seed=21, finds_per_distance=2),
+            run_baseline_comparison(
+                2, 3, n_moves=4, n_finds=2, find_distance=2, seed=61
+            ),
+        ]
+        assert SweepRunner(workers=1).run_values(SWEEP_JOBS) == direct
+
+    def test_parallel_matches_serial(self):
+        serial = SweepRunner(workers=1).run_values(SWEEP_JOBS)
+        parallel = SweepRunner(workers=2).run_values(SWEEP_JOBS)
+        assert parallel == serial
+
+    def test_parallel_results_in_submission_order(self):
+        results = SweepRunner(workers=2).run(SWEEP_JOBS)
+        assert [r.spec for r in results] == SWEEP_JOBS
+
+    def test_env_zero_forces_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "0")
+        assert SweepRunner().workers == 1
+        monkeypatch.setenv("REPRO_PARALLEL", "3")
+        assert SweepRunner().workers == 3
+        monkeypatch.setenv("REPRO_PARALLEL", "")
+        assert SweepRunner().workers == 1
+
+    def test_bad_env_value_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "many")
+        with pytest.raises(ValueError):
+            SweepRunner()
+
+    def test_unknown_runner_fails_before_forking(self):
+        with pytest.raises(KeyError):
+            SweepRunner(workers=2).run([job("no_such_runner")])

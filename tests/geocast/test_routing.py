@@ -49,16 +49,51 @@ def test_local_delivery_is_immediate(rig):
     assert got == [0.0]
 
 
-def test_down_region_drops_message(rig):
-    sim, tiling, router = rig
+def test_down_region_drops_message_when_no_detour():
+    # A line has no way around a failed interior region.
+    sim = Simulator()
+    router = GeocastRouter(sim, line_tiling(4), delta=1.0)
     got = []
-    router.register((3, 0), lambda msg, src: got.append(msg))
-    # Route (0,0)->(3,0) passes through (1,0),(2,0).
-    router.set_region_down((2, 0))
-    router.send((0, 0), (3, 0), "m")
+    router.register(3, lambda msg, src: got.append(msg))
+    router.set_region_down(2)
+    router.send(0, 3, "m")
     sim.run()
     assert got == []
     assert router.dropped == 1
+
+
+def test_down_region_routed_around_when_detour_exists(rig):
+    sim, tiling, router = rig
+    got = []
+    router.register((3, 0), lambda msg, src: got.append(msg))
+    router.set_region_down((2, 0))
+    router.send((0, 0), (3, 0), "m")
+    sim.run()
+    assert got == ["m"]
+    assert (2, 0) not in router.route((0, 0), (3, 0))
+
+
+def test_route_cache_invalidated_on_region_down(rig):
+    # Regression: a cached shortest path must not keep routing through a
+    # region that failed after the path was computed.
+    sim, tiling, router = rig
+    got = []
+    router.register((3, 0), lambda msg, src: got.append(msg))
+    assert (2, 0) in router.route((0, 0), (3, 0))  # prime the cache
+    router.set_region_down((2, 0))
+    router.send((0, 0), (3, 0), "m")
+    sim.run()
+    assert got == ["m"]
+    assert router.dropped == 0
+
+
+def test_route_cache_invalidated_on_region_up(rig):
+    sim, tiling, router = rig
+    router.set_region_down((2, 0))
+    detour = router.route((0, 0), (3, 0))
+    assert (2, 0) not in detour
+    router.set_region_down((2, 0), down=False)
+    assert router.route((0, 0), (3, 0)) == [(0, 0), (1, 0), (2, 0), (3, 0)]
 
 
 def test_region_back_up_delivers_again(rig):

@@ -35,6 +35,35 @@ class TestTraceLog:
             log.record(float(t), "a", "tick", t)
         assert [r.detail for r in log] == [3, 4]
 
+    def test_capacity_shrink_keeps_newest(self):
+        log = TraceLog()
+        for t in range(5):
+            log.record(float(t), "a", "tick", t)
+        log.capacity = 2  # experiments shrink the log after construction
+        assert log.capacity == 2
+        assert [r.detail for r in log] == [3, 4]
+        log.record(5.0, "a", "tick", 5)
+        assert [r.detail for r in log] == [4, 5]
+
+    def test_capacity_grow_and_unbound(self):
+        log = TraceLog(capacity=1)
+        log.record(0.0, "a", "tick", 0)
+        log.capacity = 3
+        for t in (1, 2, 3):
+            log.record(float(t), "a", "tick", t)
+        assert [r.detail for r in log] == [1, 2, 3]
+        log.capacity = None
+        for t in (4, 5):
+            log.record(float(t), "a", "tick", t)
+        assert [r.detail for r in log] == [1, 2, 3, 4, 5]
+
+    def test_eviction_order_strictly_fifo(self):
+        log = TraceLog(capacity=3)
+        for t in range(10):
+            log.record(float(t), "a", "tick", t)
+            expected = list(range(max(0, t - 2), t + 1))
+            assert [r.detail for r in log] == expected
+
     def test_subscriber_sees_all_records(self):
         log = TraceLog(capacity=1)
         seen = []
