@@ -11,19 +11,19 @@ import random
 
 import pytest
 
-from repro.analysis import WorkAccountant, format_table
-from repro.core import VineStalk, grid_schedule, uniform_schedule
+from repro.analysis import format_table
+from repro.core import grid_schedule, uniform_schedule
 from repro.hierarchy import grid_hierarchy
 from repro.mobility import RandomNeighborWalk
+from repro.scenario import ScenarioConfig, build
 from benchmarks.conftest import emit, once
 
 
 def run_with_schedule(make_schedule, n_moves=30, seed=81):
     h = grid_hierarchy(3, 2)
     schedule = make_schedule(h.params)
-    system = VineStalk(h, schedule=schedule)
-    system.sim.trace.enabled = False
-    accountant = WorkAccountant().attach(system.cgcast)
+    scenario = build(ScenarioConfig(hierarchy=h, schedule=schedule))
+    system, accountant = scenario.parts()
     rng = random.Random(seed)
     evader = system.make_evader(
         RandomNeighborWalk(start=(4, 4)), dwell=1e12, start=(4, 4), rng=rng

@@ -1,0 +1,79 @@
+"""Extension bench — chaos (repro.faults): recovery under injected faults.
+
+Sweeps a loss-rate × crash-rate grid over the same seeded workload for
+plain VINESTALK and the stabilizing X1 variant.  The claim: with
+heartbeats and anchor refresh, X1 re-reaches a consistent tracking
+structure in *every* cell of the grid, while plain VINESTALK — whose
+§IV guarantees assume reliable C-gcast — stays broken in at least one
+faulted cell.
+"""
+
+import pytest
+
+from repro.analysis import SweepRunner, chaos_jobs, format_table
+from benchmarks.conftest import emit, once
+
+LOSS_RATES = (0.0, 0.05, 0.15)
+CRASH_RATES = (0.0, 0.05)
+
+
+def run_grid(system):
+    runner = SweepRunner()
+    jobs = chaos_jobs(
+        loss_rates=LOSS_RATES, crash_rates=CRASH_RATES, systems=(system,)
+    )
+    return runner.run_values(jobs)
+
+
+def grid_rows(results):
+    return [
+        (
+            res.loss_rate,
+            res.crash_rate,
+            f"{res.finds_completed}/{res.finds_issued}",
+            res.find_retries,
+            "yes" if res.recovered else "NO",
+            "-" if res.reconsistency_time is None else f"{res.reconsistency_time:.0f}",
+            f"{res.work_overhead:.2f}x",
+        )
+        for res in results
+    ]
+
+
+HEADERS = ["loss", "crash", "finds", "retries", "recovered", "t_reconsist", "overhead"]
+
+
+@pytest.mark.benchmark(group="ext-chaos")
+def test_stabilizing_recovers_every_cell(benchmark, capsys):
+    results = once(benchmark, lambda: run_grid("stabilizing"))
+    emit(
+        capsys,
+        format_table(
+            HEADERS,
+            grid_rows(results),
+            title="X5: stabilizing VINESTALK under loss × crash chaos",
+        ),
+    )
+    # X1's heartbeats + anchor refresh repair every cell of the grid.
+    assert all(res.recovered for res in results)
+    # Retries keep finds succeeding under churn.
+    assert all(res.find_success_rate > 0 for res in results)
+
+
+@pytest.mark.benchmark(group="ext-chaos")
+def test_plain_vinestalk_fails_under_chaos(benchmark, capsys):
+    results = once(benchmark, lambda: run_grid("vinestalk"))
+    emit(
+        capsys,
+        format_table(
+            HEADERS,
+            grid_rows(results),
+            title="X5: plain VINESTALK under loss × crash chaos",
+        ),
+    )
+    # The fault-free cell is fine: the §IV guarantees hold as proven.
+    clean = [res for res in results if res.loss_rate == 0 and res.crash_rate == 0]
+    assert all(res.recovered for res in clean)
+    # But without a repair mechanism, some faulted cell never recovers.
+    faulted = [res for res in results if res.loss_rate or res.crash_rate]
+    assert any(not res.recovered for res in faulted)

@@ -10,16 +10,19 @@ import random
 import pytest
 
 from repro.analysis import format_table
-from repro.hierarchy import grid_hierarchy
 from repro.mobility import FixedPath, RandomNeighborWalk
-from repro.replication import ReplicatedVineStalk
+from repro.scenario import ScenarioConfig, build
 from benchmarks.conftest import emit, once
 
 
+def replicated_config(m):
+    return ScenarioConfig(r=3, max_level=2, system="replicated",
+                          replication_factor=m)
+
+
 def walk_system(m, n_moves=15, seed=91):
-    h = grid_hierarchy(3, 2)
-    system = ReplicatedVineStalk(h, replication_factor=m)
-    system.sim.trace.enabled = False
+    scenario = build(replicated_config(m))
+    system, h = scenario.system, scenario.hierarchy
     evader = system.make_evader(
         RandomNeighborWalk(start=(4, 4)), dwell=1e12, start=(4, 4),
         rng=random.Random(seed),
@@ -62,13 +65,13 @@ def test_survival_of_single_region_failures(benchmark, capsys):
     """For every region on/off the path, fail it and check a find."""
 
     def survival_rate(m):
-        h = grid_hierarchy(3, 2)
+        config = replicated_config(m)
+        h = build(config).hierarchy
         survived = total = 0
         for region in h.tiling.regions()[::4]:  # every 4th region
             if region == (4, 4):
                 continue  # the evader's own region is unreplicable
-            system = ReplicatedVineStalk(h, replication_factor=m)
-            system.sim.trace.enabled = False
+            system = build(config.with_(hierarchy=h)).system
             system.make_evader(FixedPath([(4, 4)]), dwell=1e12, start=(4, 4))
             system.run_to_quiescence()
             system.fail_region(region)

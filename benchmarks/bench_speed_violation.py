@@ -17,16 +17,15 @@ import random
 import pytest
 
 from repro.analysis import format_table
-from repro.core import VineStalk, capture_snapshot, check_consistent
-from repro.hierarchy import grid_hierarchy
+from repro.core import capture_snapshot, check_consistent
 from repro.mobility import RandomNeighborWalk, atomic_dwell
+from repro.scenario import ScenarioConfig, build
 from benchmarks.conftest import emit, once
 
 
 def violation_run(dwell_factor, seed=17, burst_moves=20):
-    h = grid_hierarchy(3, 2)
-    system = VineStalk(h)
-    system.sim.trace.enabled = False
+    scenario = build(ScenarioConfig(r=3, max_level=2, seed=seed))
+    system, h = scenario.system, scenario.hierarchy
     full_dwell = atomic_dwell(system.schedule, h.params, system.delta, system.e)
     dwell = max(0.5, full_dwell * dwell_factor)
     evader = system.make_evader(

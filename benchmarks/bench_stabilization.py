@@ -10,18 +10,18 @@ import random
 import pytest
 
 from repro.analysis import WorkAccountant, format_table
-from repro.hierarchy import grid_hierarchy
 from repro.mobility import FixedPath
-from repro.stabilization import StabilizationConfig, StabilizingVineStalk
+from repro.scenario import ScenarioConfig, build as build_scenario
+from repro.stabilization import StabilizationConfig
 from benchmarks.conftest import emit, once
 
 CONFIG = StabilizationConfig(period_base=20.0, scale=2.0, miss_limit=3)
+SCENARIO = ScenarioConfig(r=3, max_level=2, system="stabilizing",
+                          stabilization=CONFIG)
 
 
 def build():
-    h = grid_hierarchy(3, 2)
-    system = StabilizingVineStalk(h, stabilization=CONFIG)
-    system.sim.trace.enabled = False
+    system = build_scenario(SCENARIO).system
     system.make_evader(FixedPath([(4, 4)]), dwell=1e12, start=(4, 4))
     system.start_anchor_refresh()
     system.run(CONFIG.period(0) * 5)

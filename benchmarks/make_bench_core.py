@@ -28,14 +28,14 @@ import time
 from pathlib import Path
 
 from repro.analysis import SweepRunner, e1_jobs, e2_jobs, e8_jobs, scale_jobs
-from repro.analysis.experiments import build_system
 from repro.mobility.models import RandomNeighborWalk
+from repro.scenario import ScenarioConfig, build
 from repro.sim import engine
 
 
 def reference_workload() -> int:
     """The canonical single-process workload; returns events fired."""
-    system, _ = build_system(2, 4)
+    system = build(ScenarioConfig(r=2, max_level=4)).system
     regions = system.hierarchy.tiling.regions()
     center = regions[len(regions) // 2]
     evader = system.make_evader(

@@ -3,14 +3,14 @@
 
 Run:  python benchmarks/make_experiments_report.py [output-path]
 
-Thin wrapper over :mod:`repro.analysis.report`, which also backs
+Thin wrapper over :mod:`repro.analysis.reporting`, which also backs
 ``python -m repro report``.
 """
 
 import sys
 from pathlib import Path
 
-from repro.analysis.report import build_report
+from repro.analysis.reporting import build_report
 
 
 def main() -> None:

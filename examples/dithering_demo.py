@@ -9,19 +9,18 @@ make the steady-state cost constant.
 Run:  python examples/dithering_demo.py
 """
 
-from repro import grid_hierarchy
-from repro.analysis import WorkAccountant, format_table
-from repro.baselines import NoLateralVineStalk
-from repro.core import VineStalk
+from repro import ScenarioConfig, build, grid_hierarchy
+from repro.analysis import format_table
 from repro.mobility import BoundaryOscillator, worst_boundary_pair
 
 OSCILLATIONS = 16
 
 
-def run(system_cls, hierarchy):
-    system = system_cls(hierarchy, delta=1.0, e=0.5)
-    system.sim.trace.enabled = False
-    accountant = WorkAccountant().attach(system.cgcast)
+def run(system_key, hierarchy):
+    scenario = build(ScenarioConfig(
+        system=system_key, hierarchy=hierarchy, delta=1.0, e=0.5
+    ))
+    system, accountant = scenario.parts()
     a, b = worst_boundary_pair(hierarchy)
     evader = system.make_evader(BoundaryOscillator(a, b), dwell=1e9, start=a)
     system.run_to_quiescence()
@@ -36,8 +35,8 @@ def run(system_cls, hierarchy):
 
 def main() -> None:
     hierarchy = grid_hierarchy(r=2, max_level=4)  # 16x16 world
-    (a, b), with_laterals = run(VineStalk, hierarchy)
-    _pair, without = run(NoLateralVineStalk, hierarchy)
+    (a, b), with_laterals = run("vinestalk", hierarchy)
+    _pair, without = run("no-lateral", hierarchy)
     print(f"oscillating between {a} and {b} — adjacent regions split at "
           f"every level below MAX={hierarchy.max_level}\n")
     rows = [

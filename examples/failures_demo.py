@@ -12,17 +12,18 @@ Run:  python examples/failures_demo.py
 
 import random
 
-from repro import EmulatedVineStalk, grid_hierarchy
+from repro import ScenarioConfig, build
 from repro.mobility import RandomNeighborWalk
 
 T_RESTART = 5.0
 
 
 def main() -> None:
-    hierarchy = grid_hierarchy(r=3, max_level=2)
-    system = EmulatedVineStalk(
-        hierarchy, nodes_per_region=1, t_restart=T_RESTART, delta=1.0, e=0.5
-    )
+    scenario = build(ScenarioConfig(
+        r=3, max_level=2, system="emulated", nodes_per_region=1,
+        t_restart=T_RESTART, delta=1.0, e=0.5, seed=3,
+    ))
+    system, hierarchy = scenario.system, scenario.hierarchy
     evader = system.make_evader(
         RandomNeighborWalk(start=(4, 4)), dwell=1e9, start=(4, 4),
         rng=random.Random(3),

@@ -12,8 +12,9 @@ Run:  python examples/irregular_map.py
 
 import random
 
-from repro.analysis import WorkAccountant, format_table
-from repro.core import VineStalk, uniform_schedule
+from repro import ScenarioConfig, build
+from repro.analysis import format_table
+from repro.core import uniform_schedule
 from repro.geometry import HexTiling
 from repro.hierarchy import build_agglomerative_hierarchy
 from repro.mobility import RandomNeighborWalk
@@ -29,9 +30,10 @@ def main() -> None:
           f"ω={hierarchy.params.omega_values}")
 
     schedule = uniform_schedule(hierarchy.params, delta=1.0, e=0.5)
-    system = VineStalk(hierarchy, schedule=schedule)
-    system.sim.trace.enabled = False
-    accountant = WorkAccountant().attach(system.cgcast)
+    scenario = build(ScenarioConfig(
+        hierarchy=hierarchy, schedule=schedule, delta=1.0, e=0.5, seed=11
+    ))
+    system, accountant = scenario.parts()
 
     evader = system.make_evader(
         RandomNeighborWalk(start=(0, 0)), dwell=1e9, start=(0, 0),

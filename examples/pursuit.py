@@ -11,7 +11,7 @@ Run:  python examples/pursuit.py
 
 import random
 
-from repro import VineStalk, grid_hierarchy
+from repro import ScenarioConfig, build
 from repro.mobility import RandomNeighborWalk, concurrent_dwell
 
 
@@ -26,9 +26,9 @@ def step_toward(tiling, frm, to):
 
 
 def main() -> None:
-    hierarchy = grid_hierarchy(r=3, max_level=2)
+    scenario = build(ScenarioConfig(r=3, max_level=2, delta=1.0, e=0.5, seed=13))
+    system, hierarchy = scenario.system, scenario.hierarchy
     tiling = hierarchy.tiling
-    system = VineStalk(hierarchy, delta=1.0, e=0.5)
 
     # Evader flees under the §VI speed restriction (updates stay atomic).
     dwell = concurrent_dwell(system.schedule, hierarchy.params,

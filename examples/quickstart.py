@@ -10,20 +10,19 @@ Run:  python examples/quickstart.py
 
 import random
 
-from repro import VineStalk, grid_hierarchy
-from repro.analysis import WorkAccountant
+from repro import ScenarioConfig, build
 from repro.mobility import RandomNeighborWalk
 
 
 def main() -> None:
-    # 1. A world: unit regions tiled 9x9, clustered base-3 (MAX = 2).
-    hierarchy = grid_hierarchy(r=3, max_level=2)
+    # 1+2. A world and the system that runs it: unit regions tiled 9x9,
+    # clustered base-3 (MAX = 2), one VSA per region, one Tracker per
+    # cluster, with a work accountant already attached.
+    scenario = build(ScenarioConfig(r=3, max_level=2, delta=1.0, e=0.5, seed=7))
+    system, accountant = scenario.parts()
+    hierarchy = scenario.hierarchy
     print(f"world: {len(hierarchy.tiling.regions())} regions, "
           f"diameter D={hierarchy.tiling.diameter()}, MAX={hierarchy.max_level}")
-
-    # 2. The VINESTALK system: one VSA per region, one Tracker per cluster.
-    system = VineStalk(hierarchy, delta=1.0, e=0.5)
-    accountant = WorkAccountant().attach(system.cgcast)
 
     # 3. An evader entering at the center and walking 20 settled steps.
     evader = system.make_evader(

@@ -12,7 +12,7 @@ Runs one evader move on the real simulator and shows:
 Run:  python examples/verify_model.py
 """
 
-from repro import VineStalk, grid_hierarchy
+from repro import ScenarioConfig, build
 from repro.analysis.timeline import extract_timeline, format_timeline
 from repro.core import (
     atomic_move_seq,
@@ -24,8 +24,9 @@ from repro.mobility import FixedPath
 
 
 def main() -> None:
-    hierarchy = grid_hierarchy(r=3, max_level=2)
-    system = VineStalk(hierarchy)  # trace stays enabled for the timeline
+    # trace=True keeps the simulator trace for the timeline below
+    scenario = build(ScenarioConfig(r=3, max_level=2, trace=True))
+    system, hierarchy = scenario.system, scenario.hierarchy
     moves = [(4, 4), (5, 5)]
     evader = system.make_evader(FixedPath(moves), dwell=1e12, start=moves[0])
     system.run_to_quiescence()

@@ -22,16 +22,23 @@ Quick start::
 
 from .core.emulated import EmulatedVineStalk
 from .core.vinestalk import VineStalk
+from .faults import FaultPlan, default_plan
 from .hierarchy.grid import GridHierarchy, grid_hierarchy
+from .scenario import Scenario, ScenarioConfig, build
 from .sim.engine import Simulator
 
 __version__ = "1.0.0"
 
 __all__ = [
     "EmulatedVineStalk",
+    "FaultPlan",
     "GridHierarchy",
+    "Scenario",
+    "ScenarioConfig",
     "Simulator",
     "VineStalk",
     "__version__",
+    "build",
+    "default_plan",
     "grid_hierarchy",
 ]

@@ -30,6 +30,7 @@ from .parallel import (
     JobResult,
     JobSpec,
     SweepRunner,
+    chaos_jobs,
     derive_seed,
     e1_jobs,
     e2_jobs,
@@ -38,9 +39,17 @@ from .parallel import (
     scale_jobs,
 )
 from .fitting import GROWTH_MODELS, best_growth_model, fit_scale, growth_ratio
-from .reporting import format_series, format_table, sparkline
+from .recovery import ChaosResult, run_chaos
+from .reporting import (
+    build_report,
+    format_series,
+    format_table,
+    render_table,
+    sparkline,
+)
 
 __all__ = [
+    "ChaosResult",
     "ComparisonRow",
     "DitheringResult",
     "FindCostResult",
@@ -53,6 +62,7 @@ __all__ = [
     "WorkAccountant",
     "WorkSnapshot",
     "best_growth_model",
+    "build_report",
     "build_system",
     "find_time_bound",
     "find_work_bound",
@@ -69,9 +79,12 @@ __all__ = [
     "run_dithering",
     "run_find_at_distance",
     "run_find_sweep",
+    "run_chaos",
     "run_invariant_watch",
     "run_move_walk",
     "run_scale_probe",
+    "render_table",
+    "chaos_jobs",
     "derive_seed",
     "e1_jobs",
     "e2_jobs",

@@ -9,17 +9,14 @@ from __future__ import annotations
 
 import random
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-from ..baselines.awerbuch_peleg import AwerbuchPelegDirectory
-from ..baselines.flooding import FloodingFinder
-from ..baselines.home_agent import HomeAgentLocator
-from ..baselines.no_lateral import NoLateralVineStalk
 from ..core.invariants import InvariantMonitor
 from ..core.vinestalk import VineStalk
-from ..hierarchy.grid import grid_hierarchy
 from ..mobility.models import BoundaryOscillator, RandomNeighborWalk, worst_boundary_pair
+from ..scenario import ScenarioConfig, build
 from .accounting import WorkAccountant
 from .bounds import (
     find_work_bound,
@@ -35,12 +32,17 @@ def build_system(
     e: float = 0.5,
     system_cls=VineStalk,
 ) -> Tuple[VineStalk, WorkAccountant]:
-    """A fresh grid system with an attached work accountant."""
-    hierarchy = grid_hierarchy(r, max_level)
-    system = system_cls(hierarchy, delta=delta, e=e)
-    system.sim.trace.enabled = False  # experiments don't need the trace
-    accountant = WorkAccountant().attach(system.cgcast)
-    return system, accountant
+    """Deprecated: use ``build(ScenarioConfig(...))`` from repro.scenario."""
+    warnings.warn(
+        "build_system() is deprecated; use "
+        "repro.scenario.build(ScenarioConfig(...)) instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    scenario = build(
+        ScenarioConfig(r=r, max_level=max_level, delta=delta, e=e, system=system_cls)
+    )
+    return scenario.system, scenario.accountant
 
 
 # ----------------------------------------------------------------------
@@ -70,7 +72,9 @@ def run_move_walk(
     system_cls=VineStalk,
 ) -> MoveCostResult:
     """Random neighbor walk with atomic (settled) moves; measures move work."""
-    system, accountant = build_system(r, max_level, delta, e, system_cls)
+    system, accountant = build(
+        ScenarioConfig(r=r, max_level=max_level, delta=delta, e=e, system=system_cls)
+    ).parts()
     hierarchy = system.hierarchy
     rng = random.Random(seed)
     center = hierarchy.tiling.regions()[len(hierarchy.tiling.regions()) // 2]
@@ -160,7 +164,7 @@ def run_find_sweep(
     finds_per_distance: int = 3,
 ) -> List[FindCostResult]:
     """Finds at a sweep of distances from a settled evader at the center."""
-    system, _accountant = build_system(r, max_level, delta, e)
+    system = build(ScenarioConfig(r=r, max_level=max_level, delta=delta, e=e)).system
     tiling = system.hierarchy.tiling
     center = tiling.regions()[len(tiling.regions()) // 2]
     system.make_evader(RandomNeighborWalk(start=center), dwell=1e12, start=center)
@@ -213,8 +217,10 @@ def run_dithering(
 ) -> DitheringResult:
     """Boundary oscillation: VINESTALK vs the no-lateral baseline."""
     totals = {}
-    for label, system_cls in (("with", VineStalk), ("without", NoLateralVineStalk)):
-        system, accountant = build_system(r, max_level, delta, e, system_cls)
+    for label, system_key in (("with", "vinestalk"), ("without", "no-lateral")):
+        system, accountant = build(
+            ScenarioConfig(r=r, max_level=max_level, delta=delta, e=e, system=system_key)
+        ).parts()
         a, b = worst_boundary_pair(system.hierarchy)
         evader = system.make_evader(
             BoundaryOscillator(a, b), dwell=1e12, start=a
@@ -253,7 +259,7 @@ def run_invariant_watch(
     seed: int = 0,
 ) -> InvariantResult:
     """Random walk with the Lemma 4.1/4.2 monitor sampling every event."""
-    system, _accountant = build_system(r, max_level)
+    system = build(ScenarioConfig(r=r, max_level=max_level)).system
     system.sim.trace.enabled = True  # monitor needs the trace
     system.sim.trace.capacity = 1  # but not its history
     rng = random.Random(seed)
@@ -313,7 +319,8 @@ def run_baseline_comparison(
     rng = random.Random(seed)
 
     # --- VINESTALK (message-level) -------------------------------------
-    system, accountant = build_system(r, max_level)
+    config = ScenarioConfig(r=r, max_level=max_level)
+    system, accountant = build(config).parts()
     tiling = system.hierarchy.tiling
     regions = tiling.regions()
     center = regions[0] if start_corner else regions[len(regions) // 2]
@@ -337,9 +344,10 @@ def run_baseline_comparison(
     rows.append(ComparisonRow("vinestalk", used.move_work, used.find_work))
 
     # --- analytic baselines replay the identical trajectory -------------
-    home = HomeAgentLocator(tiling)
-    ap = AwerbuchPelegDirectory(tiling)
-    flood = FloodingFinder(tiling)
+    analytic = config.with_(hierarchy=system.hierarchy)
+    home = build(analytic.with_(system="home-agent")).system
+    ap = build(analytic.with_(system="awerbuch-peleg")).system
+    flood = build(analytic.with_(system="flooding")).system
     ap.publish(path[0])
     home.move(path[0])
     flood_work = 0.0
@@ -409,7 +417,8 @@ def run_concurrent(
     from ..mobility.speed import concurrent_dwell
 
     # --- concurrent execution ------------------------------------------
-    system, accountant = build_system(r, max_level, delta, e)
+    config = ScenarioConfig(r=r, max_level=max_level, delta=delta, e=e)
+    system, accountant = build(config).parts()
     tiling = system.hierarchy.tiling
     params = system.hierarchy.params
     dwell = concurrent_dwell(system.schedule, params, delta, e, settle_level)
@@ -463,7 +472,7 @@ def run_concurrent(
             overshoot = max(overshoot, level - expected_levels[find_id])
 
     # --- atomic replay of the same trajectory ---------------------------
-    atomic_system, atomic_acc = build_system(r, max_level, delta, e)
+    atomic_system, atomic_acc = build(config).parts()
     atomic_evader = atomic_system.make_evader(
         RandomNeighborWalk(start=center), dwell=1e12, start=center,
         rng=random.Random(seed),
@@ -510,14 +519,17 @@ def run_emulation_recovery(
     Measures the §II-C.2 lifecycle (fail on empty region, restart after
     ``t_restart``) and how many evader moves rebuild the structure.
     """
-    from ..core.emulated import EmulatedVineStalk
-    from ..hierarchy.grid import grid_hierarchy
-
-    hierarchy = grid_hierarchy(r, max_level)
-    system = EmulatedVineStalk(
-        hierarchy, nodes_per_region=1, t_restart=t_restart
+    scenario = build(
+        ScenarioConfig(
+            r=r,
+            max_level=max_level,
+            system="emulated",
+            nodes_per_region=1,
+            t_restart=t_restart,
+            seed=seed,
+        )
     )
-    system.sim.trace.enabled = False
+    system, hierarchy = scenario.system, scenario.hierarchy
     rng = random.Random(seed)
     center = hierarchy.tiling.regions()[len(hierarchy.tiling.regions()) // 2]
     evader = system.make_evader(
@@ -574,11 +586,9 @@ def run_equivalence_check(
     from ..core.consistency import check_consistent
     from ..core.lookahead import look_ahead
     from ..core.state import capture_snapshot
-    from ..hierarchy.grid import grid_hierarchy
 
-    hierarchy = grid_hierarchy(r, max_level)
-    system = VineStalk(hierarchy)
-    system.sim.trace.enabled = False
+    scenario = build(ScenarioConfig(r=r, max_level=max_level, seed=seed))
+    system, hierarchy = scenario.system, scenario.hierarchy
     rng = random.Random(seed)
     start = hierarchy.tiling.regions()[len(hierarchy.tiling.regions()) // 2]
     evader = system.make_evader(
@@ -623,11 +633,10 @@ def run_scale_probe(
     BENCH_core.json generator both call this.
     """
     start_build = time.perf_counter()
-    hierarchy = grid_hierarchy(r, max_level)
-    system = VineStalk(hierarchy)
+    scenario = build(ScenarioConfig(r=r, max_level=max_level, seed=seed))
     build_seconds = time.perf_counter() - start_build
-    system.sim.trace.enabled = False
-    accountant = WorkAccountant().attach(system.cgcast)
+    system, accountant = scenario.parts()
+    hierarchy = scenario.hierarchy
     regions = hierarchy.tiling.regions()
     center = regions[len(regions) // 2]
     evader = system.make_evader(

@@ -48,6 +48,7 @@ RUNNERS: Dict[str, str] = {
     "invariant_watch": "repro.analysis.experiments:run_invariant_watch",
     "equivalence_check": "repro.analysis.experiments:run_equivalence_check",
     "scale_probe": "repro.analysis.experiments:run_scale_probe",
+    "chaos": "repro.analysis.recovery:run_chaos",
 }
 
 
@@ -229,3 +230,32 @@ def e8_jobs(
 def scale_jobs(levels: Sequence[int] = (4, 5, 6)) -> List[JobSpec]:
     """Scalability sweep: one job per world size (r=2)."""
     return [job("scale_probe", max_level=M) for M in levels]
+
+
+def chaos_jobs(
+    loss_rates: Sequence[float] = (0.0, 0.05, 0.15),
+    crash_rates: Sequence[float] = (0.0, 0.05),
+    systems: Sequence[str] = ("stabilizing", "vinestalk"),
+    r: int = 2,
+    max_level: int = 2,
+    seed: int = 7,
+    duration: float = 150.0,
+    max_recovery_wait: float = 600.0,
+) -> List[JobSpec]:
+    """X5 chaos sweep: loss-rate × crash-rate grid per system variant."""
+    return [
+        job(
+            "chaos",
+            r=r,
+            max_level=max_level,
+            seed=seed,
+            system=system,
+            loss_rate=loss,
+            crash_rate=crash,
+            duration=duration,
+            max_recovery_wait=max_recovery_wait,
+        )
+        for system in systems
+        for loss in loss_rates
+        for crash in crash_rates
+    ]

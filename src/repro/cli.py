@@ -4,16 +4,31 @@ Commands:
 
 * ``demo``     — run a tracked random walk and print the structure + costs;
 * ``find``     — sweep find costs by distance on a chosen world;
+* ``chaos``    — run the fault-injection harness and print recovery metrics;
 * ``report``   — regenerate the EXPERIMENTS.md content (to stdout or a file);
 * ``validate`` — run the full §II-B hierarchy validation for a world.
+
+The world-shape flags (``--r``, ``--max-level``, ``--seed``) are shared
+by every world-building command via a common parent parser; each command
+keeps its historical defaults.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import sys
 from typing import List, Optional
+
+
+def _common_flags() -> argparse.ArgumentParser:
+    """Parent parser holding the flags every world-building command takes."""
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--r", type=int, help="grid base")
+    common.add_argument("--max-level", type=int, help="hierarchy MAX")
+    common.add_argument("--seed", type=int, help="root RNG seed")
+    return common
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -22,25 +37,45 @@ def _build_parser() -> argparse.ArgumentParser:
         description="VINESTALK reproduction (Nolte & Lynch, ICDCS 2007)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    common = _common_flags()
 
-    demo = sub.add_parser("demo", help="tracked random walk with finds")
-    demo.add_argument("--r", type=int, default=3, help="grid base (default 3)")
-    demo.add_argument("--max-level", type=int, default=2, help="hierarchy MAX")
+    demo = sub.add_parser(
+        "demo", parents=[common], help="tracked random walk with finds"
+    )
+    demo.set_defaults(r=3, max_level=2, seed=7)
     demo.add_argument("--moves", type=int, default=20)
     demo.add_argument("--finds", type=int, default=4)
-    demo.add_argument("--seed", type=int, default=7)
 
-    find = sub.add_parser("find", help="find-cost sweep by distance")
-    find.add_argument("--r", type=int, default=2)
-    find.add_argument("--max-level", type=int, default=4)
-    find.add_argument("--seed", type=int, default=21)
+    find = sub.add_parser(
+        "find", parents=[common], help="find-cost sweep by distance"
+    )
+    find.set_defaults(r=2, max_level=4, seed=21)
+
+    chaos = sub.add_parser(
+        "chaos", parents=[common],
+        help="fault injection: loss/crash chaos + recovery metrics",
+    )
+    chaos.set_defaults(r=2, max_level=2, seed=7)
+    chaos.add_argument(
+        "--system", default="stabilizing",
+        help="scenario system key (default stabilizing; try vinestalk)",
+    )
+    chaos.add_argument("--loss", type=float, default=0.05,
+                       help="per-message loss probability")
+    chaos.add_argument("--crash", type=float, default=0.0,
+                       help="per-tick per-VSA crash probability")
+    chaos.add_argument("--duration", type=float, default=150.0,
+                       help="fault window / workload length (sim time)")
+    chaos.add_argument("--json", action="store_true",
+                       help="emit the metrics as one JSON object")
 
     report = sub.add_parser("report", help="regenerate EXPERIMENTS.md content")
     report.add_argument("--out", default=None, help="output path (default stdout)")
 
-    validate = sub.add_parser("validate", help="validate a hierarchy (§II-B)")
-    validate.add_argument("--r", type=int, default=3)
-    validate.add_argument("--max-level", type=int, default=2)
+    validate = sub.add_parser(
+        "validate", parents=[common], help="validate a hierarchy (§II-B)"
+    )
+    validate.set_defaults(r=3, max_level=2)
     validate.add_argument("--strip", action="store_true", help="strip world")
     validate.add_argument(
         "--skip-proximity", action="store_true", help="skip the proximity check"
@@ -49,16 +84,14 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def cmd_demo(args) -> int:
-    from .analysis.accounting import WorkAccountant
     from .analysis.render import render_grid_world, render_path, render_pointer_stats
-    from .core.vinestalk import VineStalk
-    from .hierarchy.grid import grid_hierarchy
     from .mobility.models import RandomNeighborWalk
+    from .scenario import ScenarioConfig, build
 
-    hierarchy = grid_hierarchy(args.r, args.max_level)
-    system = VineStalk(hierarchy)
-    system.sim.trace.enabled = False
-    accountant = WorkAccountant().attach(system.cgcast)
+    scenario = build(ScenarioConfig(r=args.r, max_level=args.max_level,
+                                    seed=args.seed))
+    system, accountant = scenario.parts()
+    hierarchy = scenario.hierarchy
     rng = random.Random(args.seed)
     regions = hierarchy.tiling.regions()
     start = regions[len(regions) // 2]
@@ -93,7 +126,7 @@ def cmd_demo(args) -> int:
 
 def cmd_find(args) -> int:
     from .analysis.experiments import mean_find_work_by_distance, run_find_sweep
-    from .analysis.reporting import format_table
+    from .analysis.reporting import render_table
 
     diameter = args.r**args.max_level - 1
     distances = sorted({1, 2, 3, 4, max(1, diameter // 4), max(1, diameter // 2)})
@@ -101,15 +134,67 @@ def cmd_find(args) -> int:
         args.r, args.max_level, distances, seed=args.seed, finds_per_distance=4
     )
     pairs = mean_find_work_by_distance(results)
-    print(format_table(
+    print(render_table(
         ["d", "mean find work"], pairs,
         title=f"find cost by distance (r={args.r}, MAX={args.max_level})",
     ))
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from .analysis.recovery import run_chaos
+
+    result = run_chaos(
+        r=args.r,
+        max_level=args.max_level,
+        seed=args.seed,
+        system=args.system,
+        loss_rate=args.loss,
+        crash_rate=args.crash,
+        duration=args.duration,
+    )
+    if args.json:
+        payload = {
+            "system": result.system,
+            "loss_rate": result.loss_rate,
+            "crash_rate": result.crash_rate,
+            "seed": result.seed,
+            "moves": result.moves,
+            "finds_issued": result.finds_issued,
+            "finds_completed": result.finds_completed,
+            "find_success_rate": result.find_success_rate,
+            "find_retries": result.find_retries,
+            "recovered": result.recovered,
+            "reconsistency_time": result.reconsistency_time,
+            "work_overhead": result.work_overhead,
+            "fault_events": result.fault_events,
+        }
+        print(json.dumps(payload))
+        return 0
+    print(
+        f"chaos: system={result.system} r={args.r} MAX={args.max_level} "
+        f"seed={result.seed} loss={result.loss_rate} crash={result.crash_rate} "
+        f"duration={result.duration:.0f}"
+    )
+    events = ", ".join(f"{k}={v}" for k, v in result.fault_events.items() if v)
+    print(f"fault events: {events or 'none'}")
+    print(f"moves: {result.moves}")
+    print(
+        f"finds: {result.finds_completed}/{result.finds_issued} completed "
+        f"(success rate {result.find_success_rate:.2f}, "
+        f"{result.find_retries} retries)"
+    )
+    if result.recovered:
+        print(f"recovered: yes (time to reconsistency "
+              f"{result.reconsistency_time:.1f} after fault horizon)")
+    else:
+        print("recovered: NO (structure still inconsistent at wait budget)")
+    print(f"work overhead vs golden run: {result.work_overhead:.2f}x")
+    return 0
+
+
 def cmd_report(args) -> int:
-    from .analysis.report import build_report
+    from .analysis.reporting import build_report
 
     text = build_report(
         progress=lambda name: print(f"running {name} ...", file=sys.stderr)
@@ -152,6 +237,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "demo": cmd_demo,
         "find": cmd_find,
+        "chaos": cmd_chaos,
         "report": cmd_report,
         "validate": cmd_validate,
     }

@@ -115,6 +115,10 @@ class VineStalk:
 
         self.evader: Optional[Evader] = None
         self.moves_observed = 0
+        #: Optional GPS-staleness hook (repro.faults): ``(event, region)
+        #: -> extra delay``.  When None or 0.0, augmented-GPS delivery
+        #: stays synchronous (the §IV-C atomic-move model).
+        self.gps_fault_delay = None
 
     # ------------------------------------------------------------------
     # Wiring helpers
@@ -159,6 +163,18 @@ class VineStalk:
         """
         if event == "move":
             self.moves_observed += 1
+        if self.gps_fault_delay is not None:
+            extra = self.gps_fault_delay(event, region)
+            if extra > 0.0:
+                self.sim.call_after(
+                    extra,
+                    lambda: self._deliver_evader_event(event, region),
+                    tag="gps-stale",
+                )
+                return
+        self._deliver_evader_event(event, region)
+
+    def _deliver_evader_event(self, event: str, region: RegionId) -> None:
         client = self.clients.get(region)
         if client is not None and not client.failed:
             client.handle_input(Action.input(event, region=region))

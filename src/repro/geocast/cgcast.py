@@ -58,6 +58,11 @@ class SendRecord:
 # Subscriber for accounting: receives each SendRecord.
 SendObserver = Callable[[SendRecord], None]
 
+# Fault interposition hook (see repro.faults): called once per dispatch
+# with (src, dest, payload, delay); returns the per-copy delivery delays
+# (empty list = message dropped), or None to deliver exactly as normal.
+FaultFilter = Callable[[Any, Any, Any, float], Optional[List[float]]]
+
 
 class CGcast:
     """Cluster geocast over a hierarchy, with the exact §II-C.3 delays.
@@ -89,6 +94,9 @@ class CGcast:
         self._client_sinks: Dict[RegionId, List[Callable[[Any], None]]] = {}
         self._observers: List[SendObserver] = []
         self._deliver_fn: Optional[Callable] = None
+        #: Optional fault-injection interposition point (repro.faults).
+        #: When None (the default) dispatch is exactly the §II-C.3 path.
+        self.fault_filter: Optional[FaultFilter] = None
         self.messages_sent = 0
         self.total_cost = 0.0
         # Messages currently in transit: list of (src, dest, payload, deliver_time).
@@ -231,14 +239,29 @@ class CGcast:
         record = SendRecord(self.sim.now, src, dest, payload, cost, delay)
         for observer in self._observers:
             observer(record)
-        entry = [src, dest, payload, self.sim.now + delay]
-        self._in_transit.append(entry)
+        delays = self._faulted_delays(src, dest, payload, delay)
+        for copy_delay in delays:
+            entry = [src, dest, payload, self.sim.now + copy_delay]
+            self._in_transit.append(entry)
 
-        def fire() -> None:
-            self._in_transit.remove(entry)
-            deliver()
+            def fire(entry=entry) -> None:
+                self._in_transit.remove(entry)
+                deliver()
 
-        self.sim.call_after(delay, fire, tag="cgcast")
+            self.sim.call_after(copy_delay, fire, tag="cgcast")
+
+    def _faulted_delays(
+        self, src: Any, dest: Any, payload: Any, delay: float
+    ) -> List[float]:
+        """Per-copy delivery delays after fault interposition.
+
+        The common case (no filter installed, or the filter leaves the
+        message untouched) returns the exact single-delivery schedule.
+        """
+        if self.fault_filter is None:
+            return [delay]
+        delays = self.fault_filter(src, dest, payload, delay)
+        return [delay] if delays is None else list(delays)
 
     def _deliver_vsa(
         self, target: TimedAutomaton, payload: Any, src: Optional[ClusterId]

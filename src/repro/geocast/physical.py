@@ -75,22 +75,23 @@ class PhysicalCGcast(CGcast):
         record = SendRecord(self.sim.now, src, dest, payload, cost, delay)
         for observer in self._observers:
             observer(record)
-        entry = [src, dest, payload, self.sim.now + delay]
-        self._in_transit.append(entry)
-
-        def finish() -> None:
-            if entry in self._in_transit:
-                self._in_transit.remove(entry)
-            deliver()
-
         src_region = self._endpoint_region(src)
         dest_region = self._endpoint_region(dest)
-        if src_region is None or dest_region is None:
-            # Client-local or broadcast legs stay single-hop.
-            self.sim.call_after(delay, finish, tag="cgcast")
-            return
-        deliver_at = self.sim.now + delay
-        self.router.send(src_region, dest_region, (finish, deliver_at))
+        for copy_delay in self._faulted_delays(src, dest, payload, delay):
+            entry = [src, dest, payload, self.sim.now + copy_delay]
+            self._in_transit.append(entry)
+
+            def finish(entry=entry) -> None:
+                if entry in self._in_transit:
+                    self._in_transit.remove(entry)
+                deliver()
+
+            if src_region is None or dest_region is None:
+                # Client-local or broadcast legs stay single-hop.
+                self.sim.call_after(copy_delay, finish, tag="cgcast")
+            else:
+                deliver_at = self.sim.now + copy_delay
+                self.router.send(src_region, dest_region, (finish, deliver_at))
 
     def _endpoint_region(self, endpoint: Any) -> Optional[RegionId]:
         if isinstance(endpoint, ClusterId):

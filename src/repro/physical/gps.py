@@ -33,6 +33,9 @@ class GpsOracle:
         self._update_sinks: List[GpsUpdateSink] = []
         self._evader_sinks: List[EvaderEventSink] = []
         self._evader: Optional[Evader] = None
+        #: Optional staleness hook (repro.faults): ``(kind, region) ->
+        #: extra delay``.  When None or 0.0, delivery stays synchronous.
+        self.fault_delay: Optional[Callable[[str, RegionId], float]] = None
 
     # ------------------------------------------------------------------
     # Wiring
@@ -68,6 +71,18 @@ class GpsOracle:
     def _push_update(self, node: PhysicalNode) -> None:
         if not node.alive:
             return
+        if self.fault_delay is not None:
+            extra = self.fault_delay("GPSupdate", node.region)
+            if extra > 0.0:
+                region = node.region
+
+                def late() -> None:
+                    if node.alive and node.region == region:
+                        for sink in self._update_sinks:
+                            sink(node, region)
+
+                self.sim.call_after(extra, late, tag="gps-stale")
+                return
         for sink in self._update_sinks:
             sink(node, node.region)
 
@@ -81,6 +96,18 @@ class GpsOracle:
 
     def _evader_event(self, event: str, region: RegionId) -> None:
         """Deliver move/left to every alive client in the evader's region."""
+        if self.fault_delay is not None:
+            extra = self.fault_delay(event, region)
+            if extra > 0.0:
+                self.sim.call_after(
+                    extra,
+                    lambda: self._deliver_evader_event(event, region),
+                    tag="gps-stale",
+                )
+                return
+        self._deliver_evader_event(event, region)
+
+    def _deliver_evader_event(self, event: str, region: RegionId) -> None:
         recipients = [
             n for n in self._nodes.values() if n.alive and n.region == region
         ]

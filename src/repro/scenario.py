@@ -1,0 +1,285 @@
+"""Unified scenario construction: one config, one ``build()``.
+
+Every experiment, benchmark, example and CLI command builds its world
+through the same two names:
+
+* :class:`ScenarioConfig` — a frozen, picklable description of a world:
+  geometry (``r``/``max_level`` or an explicit ``hierarchy``), timing
+  (``delta``/``e``/``schedule``), the system variant (``system`` by
+  registry key or class), variant knobs, and an optional
+  :class:`~repro.faults.plan.FaultPlan`;
+* :func:`build` — the factory that turns a config into a
+  :class:`Scenario`: the built system, its hierarchy, an attached
+  :class:`~repro.analysis.accounting.WorkAccountant` and (when the
+  config carries a fault plan) an armed
+  :class:`~repro.faults.injector.FaultInjector`.
+
+Registry keys: ``vinestalk``, ``no-lateral``, ``stabilizing``,
+``replicated``, ``emulated`` build message-level systems;
+``home-agent``, ``awerbuch-peleg``, ``flooding`` build the analytic
+cost-model baselines (no simulator, no accountant).
+
+Determinism: ``build`` performs exactly the same construction steps for
+the same config, and the injector's RNG streams are derived from
+``config.seed`` — same config ⇒ same world ⇒ same execution.
+
+Example::
+
+    from repro.scenario import ScenarioConfig, build
+
+    scenario = build(ScenarioConfig(r=3, max_level=2, system="stabilizing"))
+    scenario.system.make_evader(...)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, Optional, Union
+
+from .faults.plan import FaultPlan
+
+#: Registry keys of the message-level (simulator-driven) systems.
+MESSAGE_SYSTEMS = ("vinestalk", "no-lateral", "stabilizing", "replicated", "emulated")
+#: Registry keys of the analytic cost-model baselines.
+ANALYTIC_SYSTEMS = ("home-agent", "awerbuch-peleg", "flooding")
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Frozen description of one buildable world.
+
+    Attributes:
+        r: Grid base of the region tiling (ignored when ``hierarchy``
+            is given).
+        max_level: Top cluster level (ignored when ``hierarchy`` is given).
+        delta: Physical broadcast delay ``δ``.
+        e: VSA emulation output lag ``e``.
+        seed: Root seed — drives the fault injector's RNG streams and is
+            the conventional seed for the caller's workload RNGs.
+        system: Registry key (see module docstring) or a VineStalk-like
+            class (``cls(hierarchy, delta=..., e=...)``).
+        trace: Whether the simulator trace stays enabled.
+        nodes_per_region: Emulated regime: physical nodes per region.
+        t_restart: Emulated regime: continuous-occupancy restart time.
+        physical_routing: Emulated regime: route C-gcast hop-by-hop.
+        stabilization: Stabilizing regime: a
+            :class:`~repro.stabilization.config.StabilizationConfig`.
+        replication_factor: Replicated regime: replicas per cluster.
+        hierarchy: Explicit :class:`~repro.hierarchy.hierarchy.
+            ClusterHierarchy` overriding the ``r``/``max_level`` grid.
+        schedule: Explicit :class:`~repro.core.timers.TimerSchedule`.
+        fault_plan: Optional :class:`~repro.faults.plan.FaultPlan`; when
+            set, :func:`build` arms a fault injector seeded by ``seed``.
+    """
+
+    r: int = 3
+    max_level: int = 2
+    delta: float = 1.0
+    e: float = 0.5
+    seed: int = 0
+    system: Union[str, type] = "vinestalk"
+    trace: bool = False
+    nodes_per_region: int = 2
+    t_restart: float = 5.0
+    physical_routing: bool = False
+    stabilization: Optional[Any] = None
+    replication_factor: int = 2
+    hierarchy: Optional[Any] = None
+    schedule: Optional[Any] = None
+    fault_plan: Optional[FaultPlan] = None
+
+    def __post_init__(self) -> None:
+        if isinstance(self.system, str):
+            if self.system not in MESSAGE_SYSTEMS + ANALYTIC_SYSTEMS:
+                raise ValueError(
+                    f"unknown system {self.system!r}; expected one of "
+                    f"{MESSAGE_SYSTEMS + ANALYTIC_SYSTEMS} or a class"
+                )
+        elif not isinstance(self.system, type):
+            raise TypeError("system must be a registry key or a class")
+        if self.fault_plan is not None and not isinstance(self.fault_plan, FaultPlan):
+            raise TypeError("fault_plan must be a FaultPlan")
+
+    def with_(self, **changes: Any) -> "ScenarioConfig":
+        """A copy with ``changes`` applied (``dataclasses.replace``)."""
+        return replace(self, **changes)
+
+    @property
+    def is_analytic(self) -> bool:
+        """True when ``system`` names an analytic cost-model baseline."""
+        return isinstance(self.system, str) and self.system in ANALYTIC_SYSTEMS
+
+
+@dataclass
+class Scenario:
+    """A built world, ready to drive.
+
+    Attributes:
+        config: The config this world was built from.
+        system: The built system (message-level variant or analytic
+            baseline object).
+        hierarchy: The cluster hierarchy (also for analytic baselines,
+            whose cost models run over ``hierarchy.tiling``).
+        accountant: Attached work accountant (None for analytic
+            baselines).
+        injector: Armed fault injector (None without a fault plan).
+    """
+
+    config: ScenarioConfig
+    system: Any
+    hierarchy: Any
+    accountant: Optional[Any] = None
+    injector: Optional[Any] = None
+
+    @property
+    def sim(self):
+        """The simulator (None for analytic baselines)."""
+        return getattr(self.system, "sim", None)
+
+    @property
+    def fault_stats(self):
+        """The injector's :class:`~repro.faults.injector.FaultStats`."""
+        return self.injector.stats if self.injector is not None else None
+
+    def parts(self):
+        """``(system, accountant)`` — the legacy ``build_system`` shape."""
+        return self.system, self.accountant
+
+
+# ----------------------------------------------------------------------
+# System registry
+# ----------------------------------------------------------------------
+def _build_vinestalk(config: ScenarioConfig, hierarchy: Any) -> Any:
+    from .core.vinestalk import VineStalk
+
+    return VineStalk(hierarchy, delta=config.delta, e=config.e, schedule=config.schedule)
+
+
+def _build_no_lateral(config: ScenarioConfig, hierarchy: Any) -> Any:
+    from .baselines.no_lateral import NoLateralVineStalk
+
+    return NoLateralVineStalk(
+        hierarchy, delta=config.delta, e=config.e, schedule=config.schedule
+    )
+
+
+def _build_stabilizing(config: ScenarioConfig, hierarchy: Any) -> Any:
+    from .stabilization.system import StabilizingVineStalk
+
+    return StabilizingVineStalk(
+        hierarchy,
+        delta=config.delta,
+        e=config.e,
+        schedule=config.schedule,
+        stabilization=config.stabilization,
+    )
+
+
+def _build_replicated(config: ScenarioConfig, hierarchy: Any) -> Any:
+    from .replication.replicated import ReplicatedVineStalk
+
+    return ReplicatedVineStalk(
+        hierarchy,
+        replication_factor=config.replication_factor,
+        delta=config.delta,
+        e=config.e,
+        schedule=config.schedule,
+    )
+
+
+def _build_emulated(config: ScenarioConfig, hierarchy: Any) -> Any:
+    from .core.emulated import EmulatedVineStalk
+
+    return EmulatedVineStalk(
+        hierarchy,
+        nodes_per_region=config.nodes_per_region,
+        t_restart=config.t_restart,
+        delta=config.delta,
+        e=config.e,
+        schedule=config.schedule,
+        physical_routing=config.physical_routing,
+    )
+
+
+def _build_home_agent(config: ScenarioConfig, hierarchy: Any) -> Any:
+    from .baselines.home_agent import HomeAgentLocator
+
+    return HomeAgentLocator(hierarchy.tiling, delta=config.delta)
+
+
+def _build_awerbuch_peleg(config: ScenarioConfig, hierarchy: Any) -> Any:
+    from .baselines.awerbuch_peleg import AwerbuchPelegDirectory
+
+    return AwerbuchPelegDirectory(hierarchy.tiling, delta=config.delta)
+
+
+def _build_flooding(config: ScenarioConfig, hierarchy: Any) -> Any:
+    from .baselines.flooding import FloodingFinder
+
+    return FloodingFinder(hierarchy.tiling, delta=config.delta)
+
+
+SYSTEM_BUILDERS: Dict[str, Callable[[ScenarioConfig, Any], Any]] = {
+    "vinestalk": _build_vinestalk,
+    "no-lateral": _build_no_lateral,
+    "stabilizing": _build_stabilizing,
+    "replicated": _build_replicated,
+    "emulated": _build_emulated,
+    "home-agent": _build_home_agent,
+    "awerbuch-peleg": _build_awerbuch_peleg,
+    "flooding": _build_flooding,
+}
+
+
+# ----------------------------------------------------------------------
+# The factory
+# ----------------------------------------------------------------------
+def build(config: ScenarioConfig) -> Scenario:
+    """Build the world ``config`` describes.
+
+    Message-level systems get the simulator trace set per
+    ``config.trace``, an attached work accountant, and — when the config
+    carries a fault plan — an armed fault injector seeded by
+    ``config.seed``.  Analytic baselines get neither (they have no
+    simulator to perturb).
+    """
+    hierarchy = config.hierarchy
+    if hierarchy is None:
+        from .hierarchy.grid import grid_hierarchy
+
+        hierarchy = grid_hierarchy(config.r, config.max_level)
+
+    if isinstance(config.system, type):
+        system = _build_class(config, hierarchy)
+    else:
+        system = SYSTEM_BUILDERS[config.system](config, hierarchy)
+
+    if config.is_analytic:
+        return Scenario(config=config, system=system, hierarchy=hierarchy)
+
+    system.sim.trace.enabled = config.trace
+    # Lazy: repro.analysis imports repro.analysis.experiments, which
+    # imports this module — a top-level import here would cycle.
+    from .analysis.accounting import WorkAccountant
+
+    accountant = WorkAccountant().attach(system.cgcast)
+    injector = None
+    if config.fault_plan is not None:
+        from .faults.injector import FaultInjector
+
+        injector = FaultInjector(system, config.fault_plan, seed=config.seed).arm()
+    return Scenario(
+        config=config,
+        system=system,
+        hierarchy=hierarchy,
+        accountant=accountant,
+        injector=injector,
+    )
+
+
+def _build_class(config: ScenarioConfig, hierarchy: Any) -> Any:
+    """Instantiate a user-supplied VineStalk-like class."""
+    kwargs: Dict[str, Any] = {"delta": config.delta, "e": config.e}
+    if config.schedule is not None:
+        kwargs["schedule"] = config.schedule
+    return config.system(hierarchy, **kwargs)

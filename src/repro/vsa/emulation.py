@@ -53,6 +53,9 @@ class VsaEmulation:
         self._populated_since: Dict[RegionId, Optional[float]] = {
             region: None for region in hosts
         }
+        # Regions held down by fault injection (repro.faults): the VSA
+        # stays failed regardless of population until the blackout lifts.
+        self._blacked_out: set = set()
 
     # ------------------------------------------------------------------
     # Population management
@@ -123,9 +126,47 @@ class VsaEmulation:
 
     def _try_restart(self, region: RegionId, since: float) -> None:
         """Restart iff the region stayed continuously populated since ``since``."""
+        if region in self._blacked_out:
+            return  # fault injection holds the VSA down
         if self._populated_since.get(region) != since:
             return  # emptied (and possibly re-populated) in the meantime
         host = self.hosts[region]
         if host.failed:
             self.sim.trace.record(self.sim.now, f"vsa:{region}", "vsa-restart", None)
             host.restart()
+
+    # ------------------------------------------------------------------
+    # Fault injection (repro.faults)
+    # ------------------------------------------------------------------
+    def blackout(self, region: RegionId) -> None:
+        """Force-fail ``region``'s VSA regardless of its population.
+
+        Unlike the §II-C.2 empty-region failure, the node population is
+        untouched — the virtual machine itself dies — and the VSA stays
+        down until :meth:`lift_blackout`, suppressing the continuous-
+        occupancy restart in the meantime.
+        """
+        if region not in self.hosts:
+            raise KeyError(f"unknown region {region!r}")
+        self._blacked_out.add(region)
+        host = self.hosts[region]
+        if not host.failed:
+            self.sim.trace.record(self.sim.now, f"vsa:{region}", "vsa-fail", None)
+            host.fail()
+
+    def lift_blackout(self, region: RegionId) -> None:
+        """End a blackout; restart follows the normal occupancy rule."""
+        if region not in self._blacked_out:
+            return
+        self._blacked_out.discard(region)
+        host = self.hosts[region]
+        if host.failed and self.population(region):
+            # The region is populated now; a fresh continuous-occupancy
+            # window starts at the lift.
+            since = self.sim.now
+            self._populated_since[region] = since
+            self.sim.call_after(
+                self.t_restart,
+                lambda: self._try_restart(region, since),
+                tag=f"vsa-restart:{region}",
+            )

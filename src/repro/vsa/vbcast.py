@@ -10,7 +10,7 @@ reaches every endpoint registered in ``u`` or a neighbor after ``δ``
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..geometry.regions import RegionId
 from ..geometry.tiling import Tiling
@@ -18,6 +18,12 @@ from ..sim.engine import Simulator
 
 # Endpoint callback: (message, source_region).
 Endpoint = Callable[[Any, RegionId], None]
+
+# Fault interposition hook (see repro.faults): called once per broadcast
+# with (source_region, message, delay, from_vsa); returns the per-copy
+# delivery delays (empty list = broadcast dropped), or None to deliver
+# exactly as normal.
+FaultFilter = Callable[[RegionId, Any, float, bool], Optional[List[float]]]
 
 
 class VBcast:
@@ -31,6 +37,9 @@ class VBcast:
         self.delta = delta
         self.e = e
         self._endpoints: Dict[RegionId, List[Tuple[str, Endpoint]]] = {}
+        #: Optional fault-injection interposition point (repro.faults).
+        #: When None (the default) bcast is exactly the single-hop path.
+        self.fault_filter: Optional[FaultFilter] = None
         self.broadcasts = 0
         self.deliveries = 0
 
@@ -61,4 +70,10 @@ class VBcast:
                     self.deliveries += 1
                     endpoint(message, source_region)
 
-        self.sim.call_after(delay, deliver, tag="vbcast")
+        delays = [delay]
+        if self.fault_filter is not None:
+            faulted = self.fault_filter(source_region, message, delay, from_vsa)
+            if faulted is not None:
+                delays = list(faulted)
+        for copy_delay in delays:
+            self.sim.call_after(copy_delay, deliver, tag="vbcast")

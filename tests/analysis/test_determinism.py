@@ -13,13 +13,13 @@ import pytest
 
 from repro.analysis import (
     SweepRunner,
-    build_system,
     job,
     run_baseline_comparison,
     run_find_sweep,
     run_move_walk,
 )
 from repro.mobility import RandomNeighborWalk
+from repro.scenario import ScenarioConfig, build
 
 # Golden values captured from the seed implementation (r=2, MAX=3 world).
 GOLDEN_E1_PER_MOVE_WORK = [
@@ -65,8 +65,9 @@ class TestGoldenValues:
         assert res.max_settle_time == 40.0
 
     def test_trace_kind_histogram_and_accountant(self):
-        system, accountant = build_system(2, 3)
-        system.sim.trace.enabled = True
+        system, accountant = build(
+            ScenarioConfig(r=2, max_level=3, trace=True)
+        ).parts()
         regions = system.hierarchy.tiling.regions()
         center = regions[len(regions) // 2]
         evader = system.make_evader(

@@ -96,8 +96,9 @@ class TestOtherRunners:
         assert names == ["vinestalk", "home-agent", "awerbuch-peleg", "flooding"]
         assert all(row.total >= 0 for row in rows)
 
-    def test_build_system_attaches_accounting(self):
-        system, accountant = build_system(2, 2)
+    def test_build_system_shim_is_deprecated_but_works(self):
+        with pytest.deprecated_call():
+            system, accountant = build_system(2, 2)
         system.make_evader(
             __import__("repro.mobility", fromlist=["FixedPath"]).FixedPath([(0, 0)]),
             dwell=1e12,
