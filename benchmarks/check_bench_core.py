@@ -1,0 +1,83 @@
+"""Validate a BENCH_core.json artifact (bench-core/2).
+
+CI's smoke-bench step runs this after :mod:`make_bench_core`; exits
+nonzero when the artifact is malformed or the parallel gate fails.
+
+Checks:
+
+* schema is ``bench-core/2`` and the reference throughput is nonzero;
+* every experiment ran jobs and fired events, and the per-experiment
+  setup/run split sums to (approximately) the recorded wall;
+* **parallel gate**: ``parallel_speedup >= 1.0`` — the sweep set must
+  not be slower through the runner than through the cold serial loop.
+  Runners are noisy, so CI calls this once and, on gate failure alone,
+  regenerates the artifact and retries once (see ``ci.yml``).
+
+Usage::
+
+    python benchmarks/check_bench_core.py [BENCH_core.json]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+#: Headroom on the setup+run ≈ wall consistency check (timer jitter).
+SPLIT_TOLERANCE_S = 0.05
+
+
+def check(path: Path) -> int:
+    bench = json.loads(path.read_text())
+    problems = []
+
+    if bench.get("schema") != "bench-core/2":
+        problems.append(f"schema {bench.get('schema')!r} != 'bench-core/2'")
+    if bench.get("reference", {}).get("events_per_sec", 0) <= 0:
+        problems.append("reference events/sec must be nonzero")
+
+    sweeps = bench.get("sweeps", {})
+    for key in ("total_serial_wall_s", "total_parallel_wall_s"):
+        if sweeps.get(key, 0) <= 0:
+            problems.append(f"sweeps.{key} must be positive")
+    for name, exp in sweeps.get("experiments", {}).items():
+        if exp.get("jobs", 0) <= 0:
+            problems.append(f"{name}: no jobs")
+        if exp.get("events", 0) <= 0:
+            problems.append(f"{name}: no events")
+        split = exp.get("setup_wall_s", 0.0) + exp.get("run_wall_s", 0.0)
+        if abs(split - exp.get("serial_wall_s", 0.0)) > SPLIT_TOLERANCE_S:
+            problems.append(
+                f"{name}: setup+run split {split:.3f}s does not sum to "
+                f"serial wall {exp.get('serial_wall_s', 0.0):.3f}s"
+            )
+
+    speedup = sweeps.get("parallel_speedup", 0.0)
+    if speedup < 1.0:
+        problems.append(
+            f"parallel gate: speedup {speedup:.2f}x < 1.0 "
+            f"({sweeps.get('total_serial_wall_s', 0):.2f}s serial vs "
+            f"{sweeps.get('total_parallel_wall_s', 0):.2f}s parallel, "
+            f"mode={sweeps.get('parallel_mode')})"
+        )
+
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"bench-core ok: {bench['reference']['events_per_sec']:,.0f} events/sec, "
+        f"parallel speedup {speedup:.2f}x (mode={sweeps.get('parallel_mode')})"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    path = Path(argv[0]) if argv else Path("BENCH_core.json")
+    return check(path)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

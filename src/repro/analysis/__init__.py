@@ -37,6 +37,7 @@ from .parallel import (
     e8_jobs,
     job,
     scale_jobs,
+    topology_keys_of,
 )
 from .fitting import GROWTH_MODELS, best_growth_model, fit_scale, growth_ratio
 from .recovery import ChaosResult, run_chaos
@@ -56,6 +57,7 @@ __all__ = [
     "JobResult",
     "JobSpec",
     "SweepRunner",
+    "topology_keys_of",
     "GROWTH_MODELS",
     "InvariantResult",
     "MoveCostResult",

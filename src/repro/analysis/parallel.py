@@ -19,11 +19,19 @@ sweeps out over a :class:`concurrent.futures.ProcessPoolExecutor`:
 Worker-count resolution: an explicit ``workers=`` argument wins;
 otherwise the ``REPRO_PARALLEL`` environment variable is consulted
 (``0``, ``1``, empty or unset → serial; an integer → that many workers;
-``auto`` → ``os.cpu_count()``).  The serial path is a plain in-process
-loop over the same jobs in the same order, so for a fixed seed its
-results are identical to the historical hand-written sweep loops, and
-(because runners derive everything from their explicit seed) identical
-to the parallel path's results too.
+``auto`` → ``os.cpu_count()``).  ``REPRO_PARALLEL=0`` is additionally a
+global kill-switch: it forces the serial path even when ``workers=`` was
+given explicitly.  The serial path is a plain in-process loop over the
+same jobs in the same order, so for a fixed seed its results are
+identical to the historical hand-written sweep loops, and (because
+runners derive everything from their explicit seed) identical to the
+parallel path's results too.
+
+Worker warm-up: before forking, the runner collects the sweep's distinct
+:class:`~repro.topo.keys.TopologyKey`\\ s and hands them to a pool
+initializer that pre-builds the hierarchies (and their cluster
+adjacency) in each worker — jobs then start against a hot per-process
+topology cache instead of rebuilding their world from scratch.
 """
 
 from __future__ import annotations
@@ -34,7 +42,10 @@ import zlib
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from importlib import import_module
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..topo import topology_cache
+from ..topo.keys import TopologyKey, grid_key
 
 # Registry of sweepable runners: spec name → "module:attribute".  Names
 # (not callables) keep JobSpec picklable and lazily resolvable in worker
@@ -94,12 +105,22 @@ def job(runner: str, **kwargs: Any) -> JobSpec:
 
 @dataclass
 class JobResult:
-    """Outcome of one job: the runner's return value plus measurements."""
+    """Outcome of one job: the runner's return value plus measurements.
+
+    ``wall_seconds`` is the job's total in-process wall; it splits into
+    ``setup_seconds`` (world construction — time spent inside
+    ``repro.scenario.build``, i.e. hierarchy/tiling/system assembly) and
+    ``run_seconds`` (everything else: driving the simulation and
+    measuring).  A warm topology cache shrinks the setup share; the run
+    share is the irreducible per-job work.
+    """
 
     spec: JobSpec
     value: Any
     wall_seconds: float
     events: int
+    setup_seconds: float = 0.0
+    run_seconds: float = 0.0
 
     @property
     def events_per_sec(self) -> float:
@@ -111,14 +132,55 @@ class JobResult:
 def _execute(spec: JobSpec) -> JobResult:
     """Run one job in the current process (parent or pool worker)."""
     from ..sim import engine
+    from ..topo import setup_seconds_total
 
     fn = resolve_runner(spec.runner)
     events_before = engine.events_fired_total()
+    setup_before = setup_seconds_total()
     start = time.perf_counter()
     value = fn(**spec.kwargs)
     wall = time.perf_counter() - start
     events = engine.events_fired_total() - events_before
-    return JobResult(spec=spec, value=value, wall_seconds=wall, events=events)
+    setup = min(wall, setup_seconds_total() - setup_before)
+    return JobResult(
+        spec=spec,
+        value=value,
+        wall_seconds=wall,
+        events=events,
+        setup_seconds=setup,
+        run_seconds=max(0.0, wall - setup),
+    )
+
+
+def topology_keys_of(jobs: Sequence[JobSpec]) -> Tuple[TopologyKey, ...]:
+    """Distinct topology keys a job list will build, in first-use order.
+
+    Best-effort: derived from each spec's ``r``/``max_level`` kwargs
+    (``scale_probe`` defaults to ``r=2``, matching the runner's
+    signature).  Jobs whose world cannot be inferred from kwargs alone
+    (e.g. an explicit ``hierarchy`` argument) contribute nothing — the
+    worker then simply builds that world on first use.
+    """
+    keys: Dict[TopologyKey, None] = {}
+    for spec in jobs:
+        kwargs = spec.kwargs
+        max_level = kwargs.get("max_level")
+        if max_level is None:
+            continue
+        default_r = 2 if spec.runner == "scale_probe" else None
+        r = kwargs.get("r", default_r)
+        if r is None:
+            continue
+        try:
+            keys.setdefault(grid_key(int(r), int(max_level)))
+        except (TypeError, ValueError):
+            continue  # out-of-range params fail in the runner, not here
+    return tuple(keys)
+
+
+def _warm_worker(keys: Tuple[TopologyKey, ...]) -> None:
+    """Pool initializer: pre-build the sweep's topologies in this worker."""
+    topology_cache().warm(keys)
 
 
 def _resolve_workers(workers: Optional[int]) -> int:
@@ -137,6 +199,12 @@ def _resolve_workers(workers: Optional[int]) -> int:
         ) from None
 
 
+#: Estimated cost of spinning up one warm pool worker (fork/spawn +
+#: initializer).  ``mode="auto"`` only forks when the measured first-job
+#: wall extrapolated over the rest of the sweep exceeds this per worker.
+FORK_OVERHEAD_S = 0.25
+
+
 class SweepRunner:
     """Executes experiment sweeps, serially or across worker processes.
 
@@ -145,25 +213,99 @@ class SweepRunner:
             ``REPRO_PARALLEL`` environment variable (default serial);
             ``<= 1`` forces the serial in-process path.
         chunksize: Jobs handed to a worker per round trip (parallel path
-            only).  Larger chunks amortize pickling for many small jobs.
+            only).  ``None`` picks ``max(1, jobs // (workers * 2))`` —
+            large enough to amortize pickling for many small jobs, small
+            enough to keep every worker busy through two rounds.
+        mode: ``"auto"`` (default), ``"serial"`` or ``"parallel"``.
 
-    Results always come back in submission order regardless of which
-    worker finished first, so downstream tables are deterministic.
+    ``mode="auto"`` heuristic — parallel only when it can plausibly win:
+
+    1. ``REPRO_PARALLEL=0`` in the environment is a kill-switch: serial,
+       even when ``workers=`` was passed explicitly.
+    2. Fewer than 2 workers or fewer than 2 jobs: serial.
+    3. ``os.cpu_count() < 2``: serial — on a single core, forking only
+       adds oversubscription and scheduler thrash (the committed
+       bench-core/1 artifact showed E8 burning 22 CPU-seconds on 0.4s
+       of work exactly this way).
+    4. Otherwise the first job runs in-process as a *probe*; when the
+       probe wall extrapolated over the remaining jobs is smaller than
+       ``FORK_OVERHEAD_S × workers``, the rest run serially too (the
+       sweep is too small to pay for the pool); else the remaining jobs
+       go to a warm worker pool.
+
+    ``mode="parallel"`` skips the heuristic and always forks (when
+    ``workers >= 2`` and there is more than one job);
+    ``mode="serial"`` never forks.
+
+    The pool is created with an initializer that pre-warms each worker's
+    topology cache with the sweep's distinct topology keys
+    (:func:`topology_keys_of`), so workers don't redo hierarchy/route
+    precomputation per job.  Results always come back in submission
+    order regardless of which worker finished first, so downstream
+    tables are deterministic; serial and parallel values are identical
+    because every runner derives its world from its explicit seed.
+
+    After :meth:`run`, :attr:`last_mode` records what actually happened:
+    ``"serial"``, ``"processes"`` or ``"serial-fallback"`` (auto mode
+    declined to fork).
     """
 
-    def __init__(self, workers: Optional[int] = None, chunksize: int = 1) -> None:
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        chunksize: Optional[int] = None,
+        mode: str = "auto",
+    ) -> None:
+        if mode not in ("auto", "serial", "parallel"):
+            raise ValueError(f"mode must be auto/serial/parallel, got {mode!r}")
         self.workers = _resolve_workers(workers)
-        self.chunksize = max(1, int(chunksize))
+        self.chunksize = None if chunksize is None else max(1, int(chunksize))
+        self.mode = mode
+        self.last_mode: Optional[str] = None
+
+    def _chunksize_for(self, n_jobs: int, workers: int) -> int:
+        if self.chunksize is not None:
+            return self.chunksize
+        return max(1, n_jobs // (workers * 2))
 
     def run(self, jobs: Sequence[JobSpec]) -> List[JobResult]:
         """Execute every job; results in submission order."""
         jobs = list(jobs)
         for spec in jobs:  # fail fast on typos, before forking
             resolve_runner(spec.runner)
-        if self.workers <= 1 or len(jobs) <= 1:
+        workers = min(self.workers, len(jobs))
+        mode = self.mode
+        if os.environ.get("REPRO_PARALLEL", "").strip() == "0":
+            mode = "serial"  # kill-switch beats an explicit workers=
+        if mode == "serial" or workers <= 1 or len(jobs) <= 1:
+            self.last_mode = "serial"
             return [_execute(spec) for spec in jobs]
-        with ProcessPoolExecutor(max_workers=self.workers) as executor:
-            return list(executor.map(_execute, jobs, chunksize=self.chunksize))
+        if mode == "parallel":
+            self.last_mode = "processes"
+            return self._run_pool(jobs, workers)
+
+        # mode == "auto"
+        if (os.cpu_count() or 1) < 2:
+            self.last_mode = "serial-fallback"
+            return [_execute(spec) for spec in jobs]
+        probe = _execute(jobs[0])
+        rest = jobs[1:]
+        if probe.wall_seconds * len(rest) < FORK_OVERHEAD_S * workers:
+            self.last_mode = "serial-fallback"
+            return [probe] + [_execute(spec) for spec in rest]
+        self.last_mode = "processes"
+        return [probe] + self._run_pool(rest, min(workers, len(rest)))
+
+    def _run_pool(self, jobs: List[JobSpec], workers: int) -> List[JobResult]:
+        keys = topology_keys_of(jobs)
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_warm_worker, initargs=(keys,)
+        ) as executor:
+            return list(
+                executor.map(
+                    _execute, jobs, chunksize=self._chunksize_for(len(jobs), workers)
+                )
+            )
 
     def run_values(self, jobs: Sequence[JobSpec]) -> List[Any]:
         """Like :meth:`run`, but return just the runner return values."""

@@ -31,6 +31,7 @@ from .experiments import (
     run_invariant_watch,
     run_move_walk,
 )
+from ..topo import shared_grid_hierarchy
 from .fitting import growth_ratio
 from .recovery import run_chaos
 
@@ -334,7 +335,6 @@ def e9() -> str:
 def x1() -> str:
     import random
 
-    from ..hierarchy.grid import grid_hierarchy
     from ..mobility.models import FixedPath
     from ..stabilization import StabilizationConfig, StabilizingVineStalk
 
@@ -343,7 +343,7 @@ def x1() -> str:
     for severity in (2, 4, 8):
         times = []
         for seed in (1, 2, 3):
-            hierarchy = grid_hierarchy(3, 2)
+            hierarchy = shared_grid_hierarchy(3, 2)
             system = StabilizingVineStalk(hierarchy, stabilization=config)
             system.sim.trace.enabled = False
             system.make_evader(FixedPath([(4, 4)]), dwell=1e12, start=(4, 4))
@@ -377,13 +377,12 @@ def x1() -> str:
 def x2() -> str:
     import random
 
-    from ..hierarchy.grid import grid_hierarchy
     from ..mobility.models import RandomNeighborWalk
     from ..replication import ReplicatedVineStalk
 
     rows = []
     for m in (1, 2, 3):
-        hierarchy = grid_hierarchy(3, 2)
+        hierarchy = shared_grid_hierarchy(3, 2)
         system = ReplicatedVineStalk(hierarchy, replication_factor=m)
         system.sim.trace.enabled = False
         evader = system.make_evader(
@@ -416,7 +415,6 @@ def x2() -> str:
 
 def x3() -> str:
     from ..coordination import PursuitGame
-    from ..hierarchy.grid import grid_hierarchy
 
     kwargs = dict(
         n_evaders=3, n_pursuers=3, evader_dwell=50.0, pursuer_speed=2,
@@ -426,10 +424,10 @@ def x3() -> str:
     rows = []
     for seed in (7, 8, 9):
         coord = PursuitGame(
-            grid_hierarchy(2, 4), coordinated=True, seed=seed, **kwargs
+            shared_grid_hierarchy(2, 4), coordinated=True, seed=seed, **kwargs
         ).play(max_rounds=80, round_period=50.0)
         naive = PursuitGame(
-            grid_hierarchy(2, 4), coordinated=False, seed=seed, **kwargs
+            shared_grid_hierarchy(2, 4), coordinated=False, seed=seed, **kwargs
         ).play(max_rounds=80, round_period=50.0)
         rows.append((seed, "coordinated", coord.rounds, coord.find_work))
         rows.append((seed, "naive", naive.rounds, naive.find_work))
@@ -456,13 +454,12 @@ def x4() -> str:
     from ..core.consistency import check_consistent
     from ..core.state import capture_snapshot
     from ..core.vinestalk import VineStalk
-    from ..hierarchy.grid import grid_hierarchy
     from ..mobility.models import RandomNeighborWalk
     from ..mobility.speed import atomic_dwell
 
     rows = []
     for factor in (1.0, 0.5, 0.2, 0.05):
-        hierarchy = grid_hierarchy(3, 2)
+        hierarchy = shared_grid_hierarchy(3, 2)
         system = VineStalk(hierarchy)
         system.sim.trace.enabled = False
         full = atomic_dwell(system.schedule, hierarchy.params, 1.0, 0.5)

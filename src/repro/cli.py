@@ -209,15 +209,14 @@ def cmd_report(args) -> int:
 
 
 def cmd_validate(args) -> int:
-    from .hierarchy.grid import grid_hierarchy
-    from .hierarchy.strip import strip_hierarchy
     from .hierarchy.validation import HierarchyValidationError, validate_hierarchy
+    from .topo import shared_grid_hierarchy, shared_strip_hierarchy
 
     if args.strip:
-        hierarchy = strip_hierarchy(args.r, args.max_level)
+        hierarchy = shared_strip_hierarchy(args.r, args.max_level)
         kind = "strip"
     else:
-        hierarchy = grid_hierarchy(args.r, args.max_level)
+        hierarchy = shared_grid_hierarchy(args.r, args.max_level)
         kind = "grid"
     try:
         validate_hierarchy(hierarchy, proximity=not args.skip_proximity)

@@ -17,6 +17,7 @@ from typing import Any, Callable, Dict, List
 from ..geometry.regions import RegionId
 from ..geometry.tiling import Tiling
 from ..sim.engine import Simulator
+from ..topo import cache_enabled, topology_cache
 
 
 class GeocastRouter:
@@ -31,6 +32,16 @@ class GeocastRouter:
     message along a shortest path, invoking the destination callback
     after ``hops × δ``.  Hops are materialised as simulator events so a
     region failing mid-route genuinely interrupts delivery.
+
+    Routes come from the tiling's shared precomputed
+    :class:`~repro.topo.routes.RouteTable` (one BFS parent tree per
+    source, layered by the frozen down-set) instead of per-call BFS.
+    Down-set changes bump :attr:`down_epoch` and switch the table layer;
+    shrinking back to a previously seen down-set (e.g. a blackout
+    lifting) reuses the earlier layer with no rebuild.  With the
+    topology cache bypassed (``REPRO_TOPO_CACHE=0``), the legacy
+    per-call BFS path below is used instead — both produce
+    byte-identical routes.
     """
 
     def __init__(self, sim: Simulator, tiling: Tiling, delta: float) -> None:
@@ -42,6 +53,8 @@ class GeocastRouter:
         self._receivers: Dict[RegionId, Callable[[Any, RegionId], None]] = {}
         self._route_cache: Dict[tuple, List[RegionId]] = {}
         self._down: set = set()
+        self._down_key: frozenset = frozenset()
+        self.down_epoch = 0
         self.hops_total = 0
         self.delivered = 0
         self.dropped = 0
@@ -52,10 +65,13 @@ class GeocastRouter:
     def set_region_down(self, region: RegionId, down: bool = True) -> None:
         """Mark a region as unable to forward (its VSA is failed).
 
-        Any change to the down-set invalidates the route cache: the
-        underlying geocast is self-stabilizing, so fresh sends must not
-        keep following a cached shortest path through a failed region
-        (nor keep detouring around a recovered one).
+        Any change to the down-set bumps the epoch and invalidates the
+        legacy route cache: the underlying geocast is self-stabilizing,
+        so fresh sends must not keep following a cached shortest path
+        through a failed region (nor keep detouring around a recovered
+        one).  The precomputed route table needs no invalidation — its
+        layers are keyed by the frozen down-set, so the epoch bump just
+        selects a different (possibly already computed) layer.
         """
         changed = (region not in self._down) if down else (region in self._down)
         if down:
@@ -63,6 +79,8 @@ class GeocastRouter:
         else:
             self._down.discard(region)
         if changed:
+            self.down_epoch += 1
+            self._down_key = frozenset(self._down)
             self._route_cache.clear()
 
     def route(self, src: RegionId, dest: RegionId) -> List[RegionId]:
@@ -74,6 +92,10 @@ class GeocastRouter:
         the message is dropped at the failed hop — matching the physical
         behavior of forwarding into a dead region.
         """
+        if cache_enabled():
+            return topology_cache().routes(self.tiling).path(
+                src, dest, self._down_key
+            )
         key = (src, dest)
         if key not in self._route_cache:
             try:

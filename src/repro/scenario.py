@@ -242,12 +242,34 @@ def build(config: ScenarioConfig) -> Scenario:
     carries a fault plan — an armed fault injector seeded by
     ``config.seed``.  Analytic baselines get neither (they have no
     simulator to perturb).
+
+    When no explicit ``hierarchy`` is given, the grid hierarchy comes
+    from the per-process :mod:`repro.topo` cache: the same
+    ``(r, max_level)`` builds the cluster hierarchy and tiling neighbor
+    graph once per process and shares them across scenarios (hierarchies
+    are immutable after construction, so sharing is trace-identical to
+    rebuilding).  ``REPRO_TOPO_CACHE=0`` restores a fresh build per
+    scenario.  Wall time spent in here is charged to the topo layer's
+    setup accumulator, which the sweep runner reads to split per-job
+    wall into setup vs run.
     """
+    from .topo import cache_enabled, charge_setup, topology_cache
+
+    with charge_setup():
+        return _build_timed(config, cache_enabled(), topology_cache())
+
+
+def _build_timed(
+    config: ScenarioConfig, cache_on: bool, topo_cache: Any
+) -> Scenario:
     hierarchy = config.hierarchy
     if hierarchy is None:
-        from .hierarchy.grid import grid_hierarchy
+        if cache_on:
+            hierarchy = topo_cache.grid(config.r, config.max_level)
+        else:
+            from .hierarchy.grid import grid_hierarchy
 
-        hierarchy = grid_hierarchy(config.r, config.max_level)
+            hierarchy = grid_hierarchy(config.r, config.max_level)
 
     if isinstance(config.system, type):
         system = _build_class(config, hierarchy)

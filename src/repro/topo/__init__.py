@@ -1,0 +1,61 @@
+"""Topology precomputation layer (content-addressed caching).
+
+Every experiment job historically rebuilt its world — cluster hierarchy,
+tiling neighbor graph, shortest-path routes — from scratch, and the
+geocast router re-ran BFS per message.  All of those are pure functions
+of the topology parameters, which is exactly what the paper's own
+evaluation quantifies (complexity bounds over region-graph distances).
+This package computes each of them once per process and shares the
+result:
+
+* :class:`~repro.topo.keys.TopologyKey` — a frozen, picklable
+  description of a hierarchy construction (kind + parameters).  The key
+  *is* the content address: the cached value is derived purely from it.
+* :class:`~repro.topo.routes.RouteTable` — per-source BFS parent trees
+  over a tiling, keyed by the frozen down-set, giving shortest paths,
+  distances and next hops without per-call BFS.  Paths are byte-for-byte
+  the ones the legacy per-call BFS produced.
+* :class:`~repro.topo.cache.TopologyCache` — the per-process cache:
+  memoized hierarchy construction, one shared :class:`RouteTable` per
+  tiling, and regions-at-distance partitions.  ``REPRO_TOPO_CACHE=0``
+  (or :func:`~repro.topo.cache.bypass`) disables it, restoring the
+  legacy build-everything-fresh behavior for A/B golden comparisons.
+
+The cache changes *when* topology quantities are computed, never *what*
+they are — goldens with the cache on are bit-identical to the bypass.
+"""
+
+from .cache import (
+    TopologyCache,
+    add_setup_seconds,
+    bypass,
+    cache_enabled,
+    charge_setup,
+    reset_topology_cache,
+    set_cache_enabled,
+    setup_seconds_total,
+    shared_grid_hierarchy,
+    shared_strip_hierarchy,
+    topology_cache,
+)
+from .keys import TopologyKey, grid_key, key_for_config, strip_key
+from .routes import RouteTable
+
+__all__ = [
+    "RouteTable",
+    "TopologyCache",
+    "TopologyKey",
+    "add_setup_seconds",
+    "bypass",
+    "cache_enabled",
+    "charge_setup",
+    "grid_key",
+    "key_for_config",
+    "reset_topology_cache",
+    "set_cache_enabled",
+    "setup_seconds_total",
+    "shared_grid_hierarchy",
+    "shared_strip_hierarchy",
+    "strip_key",
+    "topology_cache",
+]

@@ -1,0 +1,272 @@
+"""The per-process topology cache.
+
+One :class:`TopologyCache` lives per process (:func:`topology_cache`).
+It memoizes the three expensive, purely-topological computations every
+job used to redo from scratch:
+
+* **hierarchy construction** — ``hierarchy(key)`` builds the grid/strip
+  hierarchy for a :class:`~repro.topo.keys.TopologyKey` once; later
+  builds of the same key return the same object.  Hierarchies are
+  immutable after construction (their internal ``_nbrs_cache`` etc. are
+  pure memoization), so sharing is trace-safe.
+* **route tables** — ``routes(tiling)`` hands out one shared
+  :class:`~repro.topo.routes.RouteTable` per tiling object, so every
+  geocast router over the same world amortizes the same BFS trees.
+* **distance partitions** — ``regions_at_distance(tiling, center, d)``
+  groups regions by distance from a center once per (tiling, center),
+  replacing the full-scan filter the find experiments ran per query.
+
+``warm(keys)`` pre-builds hierarchies (and their cluster adjacency) for
+a sweep's distinct topology keys — the pool-worker initializer calls it
+so forked/spawned workers start hot.
+
+Switches: the cache is enabled unless ``REPRO_TOPO_CACHE=0`` is set in
+the environment when the process starts; :func:`set_cache_enabled` and
+the :func:`bypass` context manager flip it at runtime (the golden A/B
+tests compare a bypassed run against a cached one).
+
+This module also hosts the setup-wall accumulator
+(:func:`add_setup_seconds` / :func:`setup_seconds_total`):
+``repro.scenario.build`` charges world-construction time to it, and the
+sweep runner reads the delta around each job to split per-job wall into
+setup vs run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List
+
+from .keys import TopologyKey
+from .routes import RouteTable
+
+# ----------------------------------------------------------------------
+# Enabled flag
+# ----------------------------------------------------------------------
+_ENABLED = os.environ.get("REPRO_TOPO_CACHE", "").strip() != "0"
+
+
+def cache_enabled() -> bool:
+    """Whether topology caching is currently on in this process."""
+    return _ENABLED
+
+
+def set_cache_enabled(enabled: bool) -> None:
+    """Turn the cache on/off (affects subsequent builds, not past ones)."""
+    global _ENABLED
+    _ENABLED = bool(enabled)
+
+
+@contextmanager
+def bypass():
+    """Context manager: run with the cache disabled (legacy behavior)."""
+    previous = _ENABLED
+    set_cache_enabled(False)
+    try:
+        yield
+    finally:
+        set_cache_enabled(previous)
+
+
+# ----------------------------------------------------------------------
+# Setup-wall accounting
+# ----------------------------------------------------------------------
+_SETUP_SECONDS = 0.0
+
+
+def add_setup_seconds(seconds: float) -> None:
+    """Charge ``seconds`` of world-construction time to this process."""
+    global _SETUP_SECONDS
+    _SETUP_SECONDS += seconds
+
+
+def setup_seconds_total() -> float:
+    """Cumulative world-construction seconds charged in this process."""
+    return _SETUP_SECONDS
+
+
+@contextmanager
+def charge_setup():
+    """Context manager: charge the enclosed wall time as setup."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        add_setup_seconds(time.perf_counter() - start)
+
+
+# ----------------------------------------------------------------------
+# The cache
+# ----------------------------------------------------------------------
+@dataclass
+class CacheStats:
+    """Hit/miss counters, mostly for tests and the bench artifact."""
+
+    hierarchy_hits: int = 0
+    hierarchy_misses: int = 0
+    partition_hits: int = 0
+    partition_misses: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hierarchy_hits": self.hierarchy_hits,
+            "hierarchy_misses": self.hierarchy_misses,
+            "partition_hits": self.partition_hits,
+            "partition_misses": self.partition_misses,
+        }
+
+
+@dataclass
+class TopologyCache:
+    """Content-addressed store of hierarchies, route tables, partitions."""
+
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self._hierarchies: Dict[TopologyKey, Any] = {}
+
+    # -- hierarchies ----------------------------------------------------
+    def hierarchy(self, key: TopologyKey) -> Any:
+        """The (shared) hierarchy for ``key``, building it on first use."""
+        cached = self._hierarchies.get(key)
+        if cached is not None:
+            self.stats.hierarchy_hits += 1
+            return cached
+        self.stats.hierarchy_misses += 1
+        built = _build_hierarchy(key)
+        self._hierarchies[key] = built
+        return built
+
+    def grid(self, r: int, max_level: int) -> Any:
+        """Shared base-``r`` grid hierarchy (``grid_hierarchy`` memoized)."""
+        from .keys import grid_key
+
+        return self.hierarchy(grid_key(r, max_level))
+
+    def strip(self, r: int, max_level: int) -> Any:
+        """Shared strip hierarchy (``strip_hierarchy`` memoized)."""
+        from .keys import strip_key
+
+        return self.hierarchy(strip_key(r, max_level))
+
+    # -- route tables ---------------------------------------------------
+    def routes(self, tiling: Any) -> RouteTable:
+        """The shared :class:`RouteTable` for ``tiling`` (by identity).
+
+        The table rides on the tiling object itself (same pure-memoization
+        style as the tilings' internal ``_nbr_cache``), so it is shared by
+        every router over that tiling and dies with it — no global map
+        that would pin tilings alive.
+        """
+        table = getattr(tiling, "_repro_route_table", None)
+        if table is None:
+            table = RouteTable(tiling)
+            tiling._repro_route_table = table
+        return table
+
+    # -- distance partitions --------------------------------------------
+    def regions_at_distance(self, tiling: Any, center: Any, distance: int) -> List:
+        """Regions exactly ``distance`` from ``center``, in region order.
+
+        Byte-identical to the legacy full scan
+        ``[u for u in tiling.regions() if tiling.distance(u, center) == d]``
+        (same membership, same order), computed once per (tiling, center).
+        """
+        by_center = getattr(tiling, "_repro_distance_partitions", None)
+        if by_center is None:
+            by_center = {}
+            tiling._repro_distance_partitions = by_center
+        partition = by_center.get(center)
+        if partition is None:
+            self.stats.partition_misses += 1
+            partition = {}
+            for u in tiling.regions():
+                partition.setdefault(tiling.distance(u, center), []).append(u)
+            by_center[center] = partition
+        else:
+            self.stats.partition_hits += 1
+        return list(partition.get(distance, ()))
+
+    # -- warm-up --------------------------------------------------------
+    def warm(self, keys: Iterable[TopologyKey]) -> int:
+        """Pre-build hierarchies (and their cluster adjacency) for ``keys``.
+
+        Called by the pool-worker initializer with a sweep's distinct
+        topology keys so workers pay construction once, before jobs
+        arrive.  Returns how many hierarchies were newly built.
+        """
+        built = 0
+        for key in dict.fromkeys(keys):  # de-dup, stable order
+            if key in self._hierarchies:
+                continue
+            hierarchy = self.hierarchy(key)
+            # Touch the cluster neighbor graph so the per-hierarchy
+            # memoization is hot too (lookAhead, consistency checks and
+            # the trackers all query it).
+            for level in hierarchy.levels():
+                for cid in hierarchy.clusters_at_level(level):
+                    hierarchy.nbrs(cid)
+            built += 1
+        return built
+
+    def clear(self) -> None:
+        """Drop the hierarchy store and reset counters.
+
+        Route tables and distance partitions live on their tiling objects
+        and are dropped with them (clearing hierarchies releases the
+        cached tilings).
+        """
+        self._hierarchies.clear()
+        self.stats = CacheStats()
+
+
+def _build_hierarchy(key: TopologyKey) -> Any:
+    """Construct the hierarchy a key describes (pure function of the key)."""
+    if key.kind == "grid":
+        from ..hierarchy.grid import grid_hierarchy
+
+        return grid_hierarchy(key.r, key.max_level)
+    if key.kind == "strip":
+        from ..hierarchy.strip import strip_hierarchy
+
+        return strip_hierarchy(key.r, key.max_level)
+    raise ValueError(f"unknown topology kind {key.kind!r}")  # pragma: no cover
+
+
+def shared_grid_hierarchy(r: int, max_level: int) -> Any:
+    """Grid hierarchy via the process cache when enabled, else fresh."""
+    if cache_enabled():
+        return topology_cache().grid(r, max_level)
+    from ..hierarchy.grid import grid_hierarchy
+
+    return grid_hierarchy(r, max_level)
+
+
+def shared_strip_hierarchy(r: int, max_level: int) -> Any:
+    """Strip hierarchy via the process cache when enabled, else fresh."""
+    if cache_enabled():
+        return topology_cache().strip(r, max_level)
+    from ..hierarchy.strip import strip_hierarchy
+
+    return strip_hierarchy(r, max_level)
+
+
+# ----------------------------------------------------------------------
+# Process singleton
+# ----------------------------------------------------------------------
+_CACHE: TopologyCache = TopologyCache()
+
+
+def topology_cache() -> TopologyCache:
+    """The per-process :class:`TopologyCache` singleton."""
+    return _CACHE
+
+
+def reset_topology_cache() -> TopologyCache:
+    """Replace the singleton with an empty cache (returns the new one)."""
+    global _CACHE
+    _CACHE = TopologyCache()
+    return _CACHE
