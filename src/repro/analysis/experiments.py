@@ -279,12 +279,14 @@ def run_invariant_watch(
     evader = system.make_evader(
         RandomNeighborWalk(start=center), dwell=1e12, start=center, rng=rng
     )
-    monitor = InvariantMonitor(system)
-    monitor.watch()
-    system.run_to_quiescence()
-    for _ in range(n_moves):
-        evader.step()
+    monitor = InvariantMonitor(system).watch()
+    try:
         system.run_to_quiescence()
+        for _ in range(n_moves):
+            evader.step()
+            system.run_to_quiescence()
+    finally:
+        monitor.stop()  # never leak the trace subscription across jobs
     return InvariantResult(
         moves=n_moves,
         max_grow_outstanding=monitor.max_grow_outstanding,

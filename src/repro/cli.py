@@ -71,6 +71,16 @@ def _build_parser() -> argparse.ArgumentParser:
 
     report = sub.add_parser("report", help="regenerate EXPERIMENTS.md content")
     report.add_argument("--out", default=None, help="output path (default stdout)")
+    report.add_argument(
+        "--obs", action="store_true",
+        help="emit the obs/1 JSON artifact of one instrumented default-"
+             "scenario run (spans, typed events, conformance sampling) "
+             "instead of the experiments report",
+    )
+    report.add_argument(
+        "--obs-stride", type=int, default=64,
+        help="conformance-sampler event stride for --obs (default 64)",
+    )
 
     validate = sub.add_parser(
         "validate", parents=[common], help="validate a hierarchy (§II-B)"
@@ -194,6 +204,8 @@ def cmd_chaos(args) -> int:
 
 
 def cmd_report(args) -> int:
+    if args.obs:
+        return _report_obs(args)
     from .analysis.reporting import build_report
 
     text = build_report(
@@ -205,6 +217,22 @@ def cmd_report(args) -> int:
         print(f"wrote {args.out}", file=sys.stderr)
     else:
         print(text)
+    return 0
+
+
+def _report_obs(args) -> int:
+    """``repro report --obs``: one observed run → obs/1 JSON artifact."""
+    from .obs.export import render_obs_summary, write_obs_artifact
+    from .obs.probe import run_obs_probe
+
+    payload = run_obs_probe(stride=args.obs_stride)
+    if args.out:
+        write_obs_artifact(args.out, payload)
+        print(render_obs_summary(payload))
+        print(f"wrote {args.out}", file=sys.stderr)
+    else:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        print(render_obs_summary(payload), file=sys.stderr)
     return 0
 
 

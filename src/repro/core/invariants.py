@@ -31,6 +31,7 @@ class InvariantMonitor:
         self._lateral_counts: Dict[Tuple[int, int], int] = {}
         self._epoch = 0
         self._watching = False
+        self._observed_evader = None
 
     # ------------------------------------------------------------------
     # Counting (Lemma 4.1)
@@ -70,14 +71,31 @@ class InvariantMonitor:
     # ------------------------------------------------------------------
     # Watching
     # ------------------------------------------------------------------
-    def watch(self) -> None:
+    def watch(self) -> "InvariantMonitor":
         """Subscribe to the trace and sample after every record."""
         if self._watching:
-            return
+            return self
         self._watching = True
         self.system.sim.trace.subscribe(self._on_record)
         if self.system.evader is not None:
             self.system.evader.observe(self._on_evader)
+            self._observed_evader = self.system.evader
+        return self
+
+    def stop(self) -> None:
+        """Detach from the trace and evader.
+
+        Guaranteed inverse of :meth:`watch` — idempotent, safe before
+        :meth:`watch`, and required so monitors never leak trace
+        subscribers across back-to-back :class:`SweepRunner` jobs.
+        """
+        if not self._watching:
+            return
+        self._watching = False
+        self.system.sim.trace.unsubscribe(self._on_record)
+        if self._observed_evader is not None:
+            self._observed_evader.unobserve(self._on_evader)
+            self._observed_evader = None
 
     def _on_evader(self, event: str, region) -> None:
         if event == "move":

@@ -25,6 +25,14 @@ from typing import List, Optional
 
 from ..hierarchy.cluster import ClusterId
 from ..hierarchy.hierarchy import ClusterHierarchy
+from ..obs._state import OBS as _OBS
+from ..obs.events import (
+    FindForwarded,
+    FindQueryIssued,
+    FoundAnnounced,
+    GrowSent,
+    ShrinkSent,
+)
 from ..tioa.actions import Action
 from ..tioa.automaton import TimedAutomaton
 from ..tioa.timers import Timer
@@ -319,6 +327,8 @@ class Tracker(TimedAutomaton):
         update = GrowNbr(cid=self.clust) if lateral else GrowPar(cid=self.clust)
         self._queue_to_nbrs(update)
         self.trace("grow-sent", (par, "lateral" if lateral else "vertical"))
+        if _OBS.events_enabled:
+            _OBS.emit(GrowSent(self.now, self.clust, self.lvl, par, lateral))
 
     def output_shrink_send(self) -> None:
         """cTOBsend(⟨shrink, clust⟩, p): leave the path, clean secondaries."""
@@ -328,6 +338,8 @@ class Tracker(TimedAutomaton):
         self._send(par, Shrink(cid=self.clust))
         self._queue_to_nbrs(ShrinkUpd(cid=self.clust))
         self.trace("shrink-sent", par)
+        if _OBS.events_enabled:
+            _OBS.emit(ShrinkSent(self.now, self.clust, self.lvl, par))
 
     def output_found_send(self) -> None:
         """cTOBsend(⟨found, clust⟩, clust): announce at the evader's region."""
@@ -337,17 +349,23 @@ class Tracker(TimedAutomaton):
             self.sendq.append((nbr, found))
         self.finding = False
         self.trace("found", self.find_id)
+        if _OBS.events_enabled:
+            _OBS.emit(FoundAnnounced(self.now, self.clust, self.find_id))
 
     def output_find_forward(self, dest: ClusterId) -> None:
         self.finding = False
         self._send(dest, Find(cid=self.clust, find_id=self.find_id))
         self.trace("find-forward", dest)
+        if _OBS.events_enabled:
+            _OBS.emit(FindForwarded(self.now, self.clust, self.lvl, dest))
 
     def internal_findquery(self) -> None:
         self.nbrtimeout.arm(self.now + self._query_roundtrip())
         query = FindQuery(cid=self.clust, find_id=self.find_id)
         self._queue_to_nbrs(query, exclude=self.p)
         self.trace("findquery", self.find_id)
+        if _OBS.events_enabled:
+            _OBS.emit(FindQueryIssued(self.now, self.clust, self.lvl, self.find_id))
 
     # ------------------------------------------------------------------
     # Introspection for verification tooling

@@ -27,6 +27,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..obs._state import OBS as _OBS
+from ..obs.events import FaultCrash, FaultRestore, MessagesPerturbed
 from ..sim.rng import RngRegistry
 from .plan import (
     CHANNEL_CGCAST,
@@ -157,6 +159,8 @@ class FaultInjector:
             return None
         delays = [delay]
         touched = False
+        stats0 = (self.stats.messages_dropped, self.stats.messages_duplicated,
+                  self.stats.messages_delayed)
         for armed in self._armed_rules:
             rule = armed.rule
             if rule.is_null() or not rule.applies_to(channel):
@@ -194,6 +198,14 @@ class FaultInjector:
                     touched = True
                     self.stats.messages_delayed += len(delays)
                     delays = [d + rule.extra_e * units for d in delays]
+        if touched and _OBS.events_enabled:
+            _OBS.emit(MessagesPerturbed(
+                time=self.sim.now,
+                channel=channel,
+                dropped=self.stats.messages_dropped - stats0[0],
+                duplicated=self.stats.messages_duplicated - stats0[1],
+                delayed=self.stats.messages_delayed - stats0[2],
+            ))
         return delays if touched else None
 
     def _cgcast_filter(self, src, dest, payload, delay) -> Optional[List[float]]:
@@ -232,7 +244,10 @@ class FaultInjector:
             emulation.blackout(region)
         else:
             host.fail()
-        self.sim.trace.record(self.sim.now, f"fault:{region}", "fault-crash", None)
+        if self.sim.trace.enabled:
+            self.sim.trace.record(self.sim.now, f"fault:{region}", "fault-crash", None)
+        if _OBS.events_enabled:
+            _OBS.emit(FaultCrash(self.sim.now, region))
         return True
 
     def _bring_up(self, region) -> None:
@@ -245,7 +260,10 @@ class FaultInjector:
         else:
             self.system.network.hosts[region].restart()
         self.stats.restores += 1
-        self.sim.trace.record(self.sim.now, f"fault:{region}", "fault-restore", None)
+        if self.sim.trace.enabled:
+            self.sim.trace.record(self.sim.now, f"fault:{region}", "fault-restore", None)
+        if _OBS.events_enabled:
+            _OBS.emit(FaultRestore(self.sim.now, region))
 
     def _crash_tick(self, armed: _ArmedRule) -> None:
         rule, rng = armed.rule, armed.rng

@@ -24,9 +24,12 @@ of Theorems 4.9/5.2; client↔cluster messages cost 1.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional
 
 from ..geometry.regions import RegionId
+from ..obs._state import OBS as _OBS
+from ..obs.events import MessageDispatched
 from ..hierarchy.cluster import ClusterId
 from ..hierarchy.hierarchy import ClusterHierarchy
 from ..sim.engine import Simulator
@@ -234,12 +237,27 @@ class CGcast:
         cost: float,
         deliver: Callable[[], None],
     ) -> None:
+        # Per-message obs gating: two boolean checks when off; timing
+        # uses charge() (no Span allocation) on this hottest path.
+        spanning = _OBS.spans_enabled
+        if spanning:
+            t0 = perf_counter()
         self.messages_sent += 1
         self.total_cost += cost
         record = SendRecord(self.sim.now, src, dest, payload, cost, delay)
         for observer in self._observers:
             observer(record)
         delays = self._faulted_delays(src, dest, payload, delay)
+        if _OBS.events_enabled:
+            _OBS.emit(MessageDispatched(
+                time=self.sim.now,
+                src=src,
+                dest=dest,
+                payload=type(payload).__name__,
+                cost=cost,
+                delay=delay,
+                copies=len(delays),
+            ))
         for copy_delay in delays:
             entry = [src, dest, payload, self.sim.now + copy_delay]
             self._in_transit.append(entry)
@@ -249,6 +267,8 @@ class CGcast:
                 deliver()
 
             self.sim.call_after(copy_delay, fire, tag="cgcast")
+        if spanning:
+            _OBS.collector.charge("geocast", perf_counter() - t0)
 
     def _faulted_delays(
         self, src: Any, dest: Any, payload: Any, delay: float

@@ -65,6 +65,18 @@ class Evader:
         """Register for move/left notifications (the augmented GPS)."""
         self._observers.append(observer)
 
+    def unobserve(self, observer: EvaderObserver) -> None:
+        """Remove an observer (no-op when absent)."""
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
+
+    @property
+    def observer_count(self) -> int:
+        """Number of live observers (leak detection in tests)."""
+        return len(self._observers)
+
     def _emit(self, event: str, region: RegionId) -> None:
         self.sim.trace.record(self.sim.now, self.name, event, region)
         for observer in self._observers:

@@ -1,0 +1,168 @@
+"""Typed structured trace events (schema-versioned dataclass records).
+
+These are the machine-readable counterpart of the free-form
+:class:`~repro.sim.trace.TraceRecord` strings on the hot paths of
+:mod:`repro.core.tracker`, :mod:`repro.geocast.cgcast` and
+:mod:`repro.faults.injector`.  Each event is a frozen dataclass with a
+class-level ``kind`` tag; :func:`event_dict` renders any event to a
+JSON-safe dict stamped with :data:`OBS_EVENT_SCHEMA`.
+
+The legacy ``TraceLog`` records are kept untouched (the golden
+determinism tests and the invariant monitor parse their exact shapes);
+typed events flow through a *parallel* channel gated by
+``OBS.events_enabled``, so enabling them never perturbs a simulation
+and disabling them costs one boolean check per site.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, ClassVar, Dict, Tuple
+
+#: Version stamp carried by every exported event dict.  Bump when any
+#: event's fields change shape.
+OBS_EVENT_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class GrowSent:
+    """A Tracker sent ``⟨grow, clust⟩`` to its new parent (Fig. 2)."""
+
+    kind: ClassVar[str] = "grow-sent"
+    time: float
+    cluster: Any
+    level: int
+    parent: Any
+    lateral: bool
+
+
+@dataclass(frozen=True)
+class ShrinkSent:
+    """A Tracker sent ``⟨shrink, clust⟩`` to its parent (Fig. 2)."""
+
+    kind: ClassVar[str] = "shrink-sent"
+    time: float
+    cluster: Any
+    level: int
+    parent: Any
+
+
+@dataclass(frozen=True)
+class FoundAnnounced:
+    """A level-0 Tracker announced ``found`` at the evader's region."""
+
+    kind: ClassVar[str] = "found"
+    time: float
+    cluster: Any
+    find_id: int
+
+
+@dataclass(frozen=True)
+class FindForwarded:
+    """A Tracker forwarded a find along the path or a secondary pointer."""
+
+    kind: ClassVar[str] = "find-forward"
+    time: float
+    cluster: Any
+    level: int
+    dest: Any
+
+
+@dataclass(frozen=True)
+class FindQueryIssued:
+    """A Tracker queried its neighbors for the path (find search phase)."""
+
+    kind: ClassVar[str] = "findquery"
+    time: float
+    cluster: Any
+    level: int
+    find_id: int
+
+
+@dataclass(frozen=True)
+class MessageDispatched:
+    """C-gcast dispatched one message (after fault interposition).
+
+    ``copies`` is the number of delivery copies actually scheduled:
+    0 = dropped, 1 = normal, >1 = duplicated.
+    """
+
+    kind: ClassVar[str] = "message-dispatched"
+    time: float
+    src: Any
+    dest: Any
+    payload: str
+    cost: float
+    delay: float
+    copies: int
+
+
+@dataclass(frozen=True)
+class FaultCrash:
+    """The fault injector took a region's VSA down."""
+
+    kind: ClassVar[str] = "fault-crash"
+    time: float
+    region: Any
+
+
+@dataclass(frozen=True)
+class FaultRestore:
+    """The fault injector brought a region's VSA back up."""
+
+    kind: ClassVar[str] = "fault-restore"
+    time: float
+    region: Any
+
+
+@dataclass(frozen=True)
+class MessagesPerturbed:
+    """One message passed a fault rule chain and came out changed."""
+
+    kind: ClassVar[str] = "messages-perturbed"
+    time: float
+    channel: str
+    dropped: int
+    duplicated: int
+    delayed: int
+
+
+@dataclass(frozen=True)
+class ConformanceViolation:
+    """The online conformance sampler caught an invariant violation."""
+
+    kind: ClassVar[str] = "conformance-violation"
+    time: float
+    check: str
+    detail: str
+
+
+#: Every event type, for schema introspection and tests.
+EVENT_TYPES: Tuple[type, ...] = (
+    GrowSent,
+    ShrinkSent,
+    FoundAnnounced,
+    FindForwarded,
+    FindQueryIssued,
+    MessageDispatched,
+    FaultCrash,
+    FaultRestore,
+    MessagesPerturbed,
+    ConformanceViolation,
+)
+
+
+def _jsonable(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (tuple, list)):
+        return [_jsonable(v) for v in value]
+    return str(value)
+
+
+def event_dict(event: Any) -> Dict[str, Any]:
+    """Render an event as a JSON-safe dict with schema + kind stamps."""
+    out: Dict[str, Any] = {"schema": OBS_EVENT_SCHEMA, "kind": event.kind}
+    for f in fields(event):
+        out[f.name] = _jsonable(getattr(event, f.name))
+    return out

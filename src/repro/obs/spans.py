@@ -1,0 +1,118 @@
+"""Span-based profiling: nested timed regions charged to named phases.
+
+A *span* is a context-managed timed region.  Spans nest; each span's
+**self time** (its duration minus the time spent in child spans and
+child charges) is added to its *phase* total on the active collector,
+so phase totals partition wall time instead of double-counting nested
+work.  The canonical phases:
+
+* ``build``     — world construction (``repro.scenario.build``);
+* ``events``    — the simulator event loop (:meth:`Simulator._loop`),
+  excluding the geocast/lookahead time spent inside event handlers;
+* ``geocast``   — C-gcast dispatch (:meth:`CGcast._dispatch`);
+* ``lookahead`` — Fig. 3 ``lookAhead`` projections.
+
+Two entry points:
+
+* :func:`span` — the public factory.  Returns a shared no-op span when
+  observability is off, so ``with span(...)`` costs one attribute check
+  plus an empty context-manager protocol round trip when disabled.
+* :class:`Span` — the real thing, used directly by hot modules that
+  already checked ``OBS.spans_enabled`` themselves.
+
+For very hot regions where even a context manager per call is too much
+(per-message geocast dispatch), the collector's
+:meth:`~repro.obs.collector.ObsCollector.charge` adds a measured
+duration to a phase *and* attributes it as child time of the enclosing
+open span — same accounting, no Span object.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ._state import OBS
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span, as exported in the obs artifact.
+
+    Attributes:
+        name: Span name (e.g. ``"scenario.build"``).
+        phase: Phase the span's self time was charged to.
+        start_s: Start offset in seconds from the collector's epoch.
+        duration_s: Total wall duration (including child spans).
+        self_s: Duration minus child span/charge time — what was
+            actually added to the phase total.
+        depth: Nesting depth at entry (0 = top level).
+    """
+
+    name: str
+    phase: str
+    start_s: float
+    duration_s: float
+    self_s: float
+    depth: int
+
+
+class _NullSpan:
+    """Shared no-op context manager returned when spans are disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """A live timed region bound to one collector.
+
+    Use as a context manager.  Entering pushes the span on the
+    collector's stack; exiting charges the self time to ``phase`` and
+    records a :class:`SpanRecord`.
+    """
+
+    __slots__ = ("name", "phase", "collector", "start", "child_seconds")
+
+    def __init__(self, name: str, phase: str, collector) -> None:
+        self.name = name
+        self.phase = phase
+        self.collector = collector
+        self.start = 0.0
+        self.child_seconds = 0.0
+
+    def __enter__(self) -> "Span":
+        self.child_seconds = 0.0
+        self.collector.push_span(self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        duration = time.perf_counter() - self.start
+        self.collector.finish_span(self, duration)
+        return False
+
+
+def span(name: str, phase: str = None):
+    """A context-managed span charged to ``phase`` (default: ``name``).
+
+    Returns the shared :data:`NULL_SPAN` when span profiling is off, so
+    instrumented code needs no gating of its own::
+
+        with span("scenario.build", phase="build"):
+            ...
+    """
+    if not OBS.spans_enabled:
+        return NULL_SPAN
+    collector = OBS.collector
+    if collector is None:  # pragma: no cover - enabled implies collector
+        return NULL_SPAN
+    return Span(name, phase if phase is not None else name, collector)

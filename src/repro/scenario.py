@@ -37,6 +37,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, Optional, Union
 
 from .faults.plan import FaultPlan
+from .obs import span as obs_span
 
 #: Registry keys of the message-level (simulator-driven) systems.
 MESSAGE_SYSTEMS = ("vinestalk", "no-lateral", "stabilizing", "replicated", "emulated")
@@ -256,7 +257,8 @@ def build(config: ScenarioConfig) -> Scenario:
     from .topo import cache_enabled, charge_setup, topology_cache
 
     with charge_setup():
-        return _build_timed(config, cache_enabled(), topology_cache())
+        with obs_span("scenario.build", phase="build"):
+            return _build_timed(config, cache_enabled(), topology_cache())
 
 
 def _build_timed(

@@ -15,8 +15,10 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional
 
+from ..obs._state import OBS as _OBS
+from ..obs.spans import Span
 from .event_queue import Event, EventQueue
 from .trace import TraceLog
 
@@ -50,6 +52,10 @@ class Simulator:
         self._events_fired = 0
         self._running = False
         self._stop_requested = False
+        # After-event hooks (obs conformance sampling).  None — the
+        # overwhelmingly common case — costs one identity check per
+        # fired event on the fast lane.
+        self._after_event: Optional[List[Callable[[], None]]] = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -102,6 +108,31 @@ class Simulator:
         """Request that the currently running loop stop after this event."""
         self._stop_requested = True
 
+    def add_after_event(self, fn: Callable[[], None]) -> Callable[[], None]:
+        """Call ``fn()`` after every fired event (sampling hooks).
+
+        The running loop binds the hook list at entry, so a hook
+        installed mid-run takes effect at the next ``run``/``step``
+        call.  Hooks must not perturb the simulation (no scheduling, no
+        RNG draws) — they are for observation only.
+        """
+        if self._after_event is None:
+            self._after_event = []
+        self._after_event.append(fn)
+        return fn
+
+    def remove_after_event(self, fn: Callable[[], None]) -> None:
+        """Remove an after-event hook (no-op when absent)."""
+        hooks = self._after_event
+        if hooks is None:
+            return
+        try:
+            hooks.remove(fn)
+        except ValueError:
+            return
+        if not hooks:
+            self._after_event = None
+
     def step(self) -> bool:
         """Fire the single earliest event.  Returns False if none remain."""
         global _EVENTS_FIRED_TOTAL
@@ -114,6 +145,10 @@ class Simulator:
         self._events_fired += 1
         _EVENTS_FIRED_TOTAL += 1
         event.fn()
+        hooks = self._after_event
+        if hooks is not None:
+            for hook in hooks:
+                hook()
         return True
 
     def run(self, max_events: Optional[int] = None) -> int:
@@ -151,6 +186,15 @@ class Simulator:
         self._stop_requested = False
         fired = 0
         pop_next_before = self._queue.pop_next_before
+        hooks = self._after_event
+        span = None
+        if _OBS.spans_enabled:
+            # One span per loop call (not per event) charges the loop's
+            # self time to the "events" phase; geocast/lookahead work
+            # inside event handlers charges its own phase and is
+            # subtracted via the span's child-time accounting.
+            span = Span("sim.run", "events", _OBS.collector)
+            span.__enter__()
         try:
             while True:
                 if max_events is not None and fired >= max_events:
@@ -166,9 +210,14 @@ class Simulator:
                 self._events_fired += 1
                 fired += 1
                 event.fn()
+                if hooks is not None:
+                    for hook in hooks:
+                        hook()
                 if self._stop_requested:
                     break
         finally:
             self._running = False
             _EVENTS_FIRED_TOTAL += fired
+            if span is not None:
+                span.__exit__(None, None, None)
         return fired

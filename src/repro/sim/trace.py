@@ -76,6 +76,18 @@ class TraceLog:
         """Invoke ``fn`` on every future record (even when capacity-evicted)."""
         self._subscribers.append(fn)
 
+    def unsubscribe(self, fn: Callable[[TraceRecord], None]) -> None:
+        """Remove a subscriber installed by :meth:`subscribe` (no-op if absent)."""
+        try:
+            self._subscribers.remove(fn)
+        except ValueError:
+            pass
+
+    @property
+    def subscriber_count(self) -> int:
+        """Number of live subscribers (leak detection in tests)."""
+        return len(self._subscribers)
+
     def clear(self) -> None:
         self._records.clear()
 

@@ -1,0 +1,106 @@
+"""InvariantMonitor lifecycle: watch/stop is a guaranteed inverse.
+
+The regression this pins down: a watched monitor used to hold its trace
+subscription (and evader observer) forever, so back-to-back sweep jobs
+in one process accumulated subscribers.  ``stop()`` must restore both
+counts to baseline, be idempotent, and run even when the watched job
+raises.
+"""
+
+import random
+
+import pytest
+
+import repro.analysis.experiments as experiments
+from repro.analysis.parallel import JobSpec, SweepRunner
+from repro.core.invariants import InvariantMonitor
+from repro.mobility import RandomNeighborWalk
+from repro.scenario import ScenarioConfig, build
+
+
+def tracked_system(seed=4):
+    scenario = build(ScenarioConfig(r=2, max_level=2, seed=seed, trace=True))
+    system = scenario.system
+    start = system.hierarchy.tiling.regions()[0]
+    evader = system.make_evader(
+        RandomNeighborWalk(start=start), dwell=1e12, start=start,
+        rng=random.Random(seed),
+    )
+    return system, evader
+
+
+def test_stop_restores_subscriber_and_observer_counts():
+    system, evader = tracked_system()
+    trace_baseline = system.sim.trace.subscriber_count
+    observer_baseline = evader.observer_count
+
+    monitor = InvariantMonitor(system).watch()
+    assert system.sim.trace.subscriber_count == trace_baseline + 1
+    assert evader.observer_count == observer_baseline + 1
+
+    system.run_to_quiescence()
+    monitor.stop()
+    assert system.sim.trace.subscriber_count == trace_baseline
+    assert evader.observer_count == observer_baseline
+
+
+def test_stop_is_idempotent_and_safe_before_watch():
+    system, _ = tracked_system()
+    InvariantMonitor(system).stop()  # never watched: no-op
+
+    monitor = InvariantMonitor(system).watch()
+    monitor.stop()
+    monitor.stop()
+    assert system.sim.trace.subscriber_count == 0
+
+    # watch again after stop: the monitor is reusable
+    monitor.watch()
+    assert system.sim.trace.subscriber_count == 1
+    monitor.stop()
+
+
+def test_watch_is_idempotent():
+    system, evader = tracked_system()
+    monitor = InvariantMonitor(system)
+    monitor.watch()
+    monitor.watch()
+    assert system.sim.trace.subscriber_count == 1
+    assert evader.observer_count == 2  # system's GPS + the monitor
+    monitor.stop()
+
+
+def test_back_to_back_sweep_jobs_leave_no_subscribers(monkeypatch):
+    """Two serial invariant-watch jobs: each system's trace ends clean."""
+    captured = []
+    real_build = experiments.build
+
+    def capturing_build(config):
+        scenario = real_build(config)
+        captured.append(scenario.system)
+        return scenario
+
+    monkeypatch.setattr(experiments, "build", capturing_build)
+    spec = JobSpec(
+        runner="invariant_watch",
+        kwargs={"r": 2, "max_level": 2, "n_moves": 3, "seed": 8},
+    )
+    results = SweepRunner(workers=1).run([spec, spec])
+    assert len(results) == 2
+    assert results[0].value == results[1].value  # same seed, same verdicts
+    assert len(captured) == 2
+    for system in captured:
+        # baseline is zero: the monitor was the trace's only subscriber
+        assert system.sim.trace.subscriber_count == 0
+        assert system.evader.observer_count == 1  # only the GPS hookup
+
+
+def test_stop_runs_even_when_the_watched_run_raises():
+    system, evader = tracked_system()
+    monitor = InvariantMonitor(system).watch()
+    with pytest.raises(RuntimeError):
+        try:
+            raise RuntimeError("job blew up mid-walk")
+        finally:
+            monitor.stop()
+    assert system.sim.trace.subscriber_count == 0
+    assert evader.observer_count == 1

@@ -1,0 +1,12 @@
+"""Shared hygiene for the obs suite: the gate never leaks across tests."""
+
+import pytest
+
+import repro.obs as obs
+
+
+@pytest.fixture(autouse=True)
+def obs_off():
+    obs.disable()
+    yield
+    obs.disable()

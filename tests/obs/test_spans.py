@@ -1,0 +1,155 @@
+"""Span mechanics: gating, nesting/self-time, phase charging, hooks.
+
+The accounting contract under test: a span's *self* time is its
+duration minus the time covered by its children (nested spans and
+spanless :meth:`ObsCollector.charge` calls), phases partition rather
+than double-count, and with the gate off the hot paths see only the
+:data:`NULL_SPAN` singleton.
+"""
+
+import random
+
+import pytest
+
+import repro.obs as obs
+from repro.analysis.parallel import JobSpec, SweepRunner
+from repro.mobility import RandomNeighborWalk
+from repro.obs import NULL_SPAN, OBS, Span, span
+from repro.scenario import ScenarioConfig, build
+
+
+def test_span_factory_returns_null_span_when_disabled():
+    assert not OBS.spans_enabled
+    s = span("anything", phase="events")
+    assert s is NULL_SPAN
+    with s:  # context-manageable no-op
+        pass
+
+
+def test_span_factory_returns_real_span_when_enabled():
+    with obs.observed():
+        assert isinstance(span("real", phase="events"), Span)
+
+
+def test_nested_spans_partition_self_time():
+    with obs.observed() as collector:
+        with span("outer", phase="outer-phase"):
+            with span("inner", phase="inner-phase"):
+                sum(range(1000))
+    records = {r.name: r for r in collector.spans}
+    assert set(records) == {"outer", "inner"}
+    outer, inner = records["outer"], records["inner"]
+    assert inner.depth == outer.depth + 1
+    assert inner.duration_s <= outer.duration_s
+    # outer self excludes the inner child's full duration
+    assert outer.self_s == pytest.approx(
+        outer.duration_s - inner.duration_s, abs=1e-9
+    )
+    assert inner.self_s == pytest.approx(inner.duration_s, abs=1e-9)
+    phases = collector.phase_totals
+    assert phases["outer-phase"] == pytest.approx(outer.self_s, abs=1e-9)
+    assert phases["inner-phase"] == pytest.approx(inner.self_s, abs=1e-9)
+
+
+def test_charge_feeds_phase_and_parent_child_time():
+    with obs.observed() as collector:
+        with span("outer", phase="outer-phase"):
+            collector.charge("geocast", 0.25)
+            collector.charge("geocast", 0.25)
+    assert collector.phase_totals["geocast"] == pytest.approx(0.5)
+    (outer,) = collector.spans
+    # the charged 0.5s dwarfs the real duration; self time clamps at 0
+    assert outer.self_s == 0.0
+
+
+def test_max_spans_cap_counts_drops():
+    with obs.observed(max_spans=2) as collector:
+        for k in range(5):
+            with span(f"s{k}", phase="events"):
+                pass
+    assert len(collector.spans) == 2
+    assert collector.spans_dropped == 3
+    # phase accounting stays exact past the record cap
+    assert collector.phase_totals["events"] > 0.0
+
+
+def test_observed_context_restores_previous_gate():
+    outer = obs.enable(spans=True, events=False)
+    try:
+        with obs.observed() as inner:
+            assert OBS.collector is inner
+            assert OBS.events_enabled
+        assert OBS.collector is outer
+        assert OBS.spans_enabled and not OBS.events_enabled
+    finally:
+        obs.disable()
+    assert OBS.collector is None
+
+
+def run_small_world():
+    scenario = build(ScenarioConfig(r=2, max_level=2, seed=3))
+    system = scenario.system
+    regions = system.hierarchy.tiling.regions()
+    evader = system.make_evader(
+        RandomNeighborWalk(start=regions[0]), dwell=1e12, start=regions[0],
+        rng=random.Random(3),
+    )
+    system.run_to_quiescence()
+    for _ in range(3):
+        evader.step()
+        system.run_to_quiescence()
+    system.issue_find(regions[-1])
+    system.run_to_quiescence()
+    return scenario
+
+
+def test_instrumented_run_charges_canonical_phases():
+    with obs.observed() as collector:
+        run_small_world()
+    phases = collector.phase_totals
+    assert phases["build"] > 0.0      # scenario.build
+    assert phases["events"] > 0.0     # sim._loop
+    assert phases["geocast"] > 0.0    # cgcast dispatch
+    names = [r.name for r in collector.spans]
+    assert "scenario.build" in names
+    assert "sim.run" in names
+
+
+def test_job_result_phases_populated_under_obs():
+    with obs.observed():
+        results = SweepRunner(workers=1).run(
+            [JobSpec(runner="move_walk",
+                     kwargs={"r": 2, "max_level": 2, "n_moves": 5, "seed": 4})]
+        )
+    (result,) = results
+    assert result.phases.get("build", 0.0) > 0.0
+    assert result.phases.get("events", 0.0) > 0.0
+
+
+def test_job_result_phases_empty_when_obs_off():
+    results = SweepRunner(workers=1).run(
+        [JobSpec(runner="move_walk",
+                 kwargs={"r": 2, "max_level": 2, "n_moves": 5, "seed": 4})]
+    )
+    assert results[0].phases == {}
+
+
+class TestAfterEventHooks:
+    """Simulator.add_after_event / remove_after_event mechanics."""
+
+    def test_hook_fires_per_event_and_removes(self):
+        scenario = build(ScenarioConfig(r=2, max_level=2, seed=1))
+        sim = scenario.system.sim
+        fired = []
+        hook = sim.add_after_event(lambda: fired.append(sim.now))
+        scenario.system.run_to_quiescence()
+        assert len(fired) == sim.events_fired
+        sim.remove_after_event(hook)
+        before = len(fired)
+        sim.call_at(sim.now + 1.0, lambda: None, tag="noop")
+        sim.run_until(sim.now + 2.0)
+        assert len(fired) == before
+
+    def test_remove_unknown_hook_is_noop(self):
+        scenario = build(ScenarioConfig(r=2, max_level=2, seed=1))
+        scenario.system.sim.remove_after_event(lambda: None)

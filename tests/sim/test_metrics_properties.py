@@ -1,0 +1,131 @@
+"""Hypothesis properties for the MetricsRegistry aggregation substrate.
+
+The worker-pool reduction path folds per-worker registries with
+:meth:`MetricsRegistry.merge`; correctness of any sweep total rests on
+merge being associative and order-independent, and on
+``state()``/``restore()`` (and therefore pickling) round-tripping
+exactly.  Weights and observations are drawn as **integers** so float
+addition is exact and equality assertions are legitimate.
+"""
+
+import pickle
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.metrics import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+
+names = st.sampled_from(["a", "b", "events.grow", "work", "lat"])
+
+counter_ops = st.lists(
+    st.tuples(names, st.integers(min_value=-50, max_value=50)), max_size=20
+)
+histo_ops = st.lists(
+    st.tuples(names, st.integers(min_value=0, max_value=10**7)), max_size=20
+)
+series_ops = st.lists(
+    st.tuples(names, st.integers(min_value=0, max_value=100),
+              st.integers(min_value=-5, max_value=5)),
+    max_size=20,
+)
+
+registries = st.builds(
+    lambda cs, hs, ss: _registry(cs, hs, ss),
+    counter_ops, histo_ops, series_ops,
+)
+
+
+def _registry(counter_ops, histo_ops, series_ops):
+    registry = MetricsRegistry()
+    for name, weight in counter_ops:
+        registry.counter(name).add(weight)
+    for name, value in histo_ops:
+        registry.histogram(name).observe(value)
+    for name, time, value in series_ops:
+        registry.series(name).add(float(time), float(value))
+    return registry
+
+
+def clone(registry):
+    return MetricsRegistry.restore(registry.state())
+
+
+def merged(*registries):
+    out = MetricsRegistry()
+    for registry in registries:
+        out.merge(clone(registry))
+    return out
+
+
+@settings(max_examples=60, deadline=None)
+@given(registries, registries)
+def test_merge_is_order_independent(x, y):
+    assert merged(x, y) == merged(y, x)
+
+
+@settings(max_examples=60, deadline=None)
+@given(registries, registries, registries)
+def test_merge_is_associative(x, y, z):
+    left = merged(x, y).merge(clone(z))
+    right = clone(x).merge(merged(y, z))
+    assert left == right
+
+
+@settings(max_examples=60, deadline=None)
+@given(registries)
+def test_empty_registry_is_merge_identity(x):
+    assert merged(x) == x
+    assert clone(x).merge(MetricsRegistry()) == x
+
+
+@settings(max_examples=60, deadline=None)
+@given(registries)
+def test_state_restore_round_trip(x):
+    assert MetricsRegistry.restore(x.state()).state() == x.state()
+    assert clone(x) == x
+
+
+@settings(max_examples=60, deadline=None)
+@given(registries)
+def test_pickle_round_trip(x):
+    assert pickle.loads(pickle.dumps(x)) == x
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=10**7), max_size=30))
+def test_histogram_internal_consistency(values):
+    histogram = Histogram("h")
+    for value in values:
+        histogram.observe(value)
+    assert sum(histogram.counts) == histogram.count == len(values)
+    assert histogram.total == sum(values)
+    if values:
+        assert histogram.min == min(values)
+        assert histogram.max == max(values)
+    else:
+        assert histogram.min is None and histogram.max is None
+
+
+def test_histogram_merge_requires_identical_bounds():
+    import pytest
+
+    a = Histogram("a", bounds=(1.0, 2.0))
+    b = Histogram("b", bounds=(1.0, 3.0))
+    with pytest.raises(ValueError):
+        a.merge(b)
+
+
+def test_registry_histogram_rejects_conflicting_bounds():
+    import pytest
+
+    registry = MetricsRegistry()
+    registry.histogram("h", bounds=(1.0, 2.0))
+    with pytest.raises(ValueError):
+        registry.histogram("h", bounds=(1.0, 4.0))
+    assert registry.histogram("h").bounds == (1.0, 2.0)
+
+
+def test_default_buckets_cover_span_and_work_scales():
+    assert DEFAULT_BUCKETS[0] == 1e-6
+    assert DEFAULT_BUCKETS[-1] == 1e6
+    assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
