@@ -1,17 +1,23 @@
-"""Validate a BENCH_core.json artifact (bench-core/2).
+"""Validate a BENCH_core.json artifact (bench-core/3).
 
 CI's smoke-bench step runs this after :mod:`make_bench_core`; exits
-nonzero when the artifact is malformed or the parallel gate fails.
+nonzero when the artifact is malformed or a gate fails.
 
 Checks:
 
-* schema is ``bench-core/2`` and the reference throughput is nonzero;
+* schema is ``bench-core/3`` and the reference throughput is nonzero;
 * every experiment ran jobs and fired events, and the per-experiment
   setup/run split sums to (approximately) the recorded wall;
 * **parallel gate**: ``parallel_speedup >= 1.0`` — the sweep set must
   not be slower through the runner than through the cold serial loop.
   Runners are noisy, so CI calls this once and, on gate failure alone,
-  regenerates the artifact and retries once (see ``ci.yml``).
+  regenerates the artifact and retries once (see ``ci.yml``);
+* **warm gate**: ``warm_start.values_equal`` must be true — results
+  from depot-restored warm bases must be bit-identical to cold rebuilds
+  (the correctness half of the warm-start contract).  ``warm_speedup``
+  is reported, bounded below only by a pathology floor: the ratio
+  legitimately sits on either side of 1.0 depending on how the
+  build+quiescence prefix compares to unpickling full system state.
 
 Usage::
 
@@ -27,13 +33,18 @@ from pathlib import Path
 #: Headroom on the setup+run ≈ wall consistency check (timer jitter).
 SPLIT_TOLERANCE_S = 0.05
 
+#: Pathology floor for the warm-start ratio.  Warm restore trading
+#: roughly evenly with a topology-cache-hot rebuild is expected; an
+#: order-of-magnitude collapse means the depot or codec regressed.
+WARM_SPEEDUP_FLOOR = 0.1
+
 
 def check(path: Path) -> int:
     bench = json.loads(path.read_text())
     problems = []
 
-    if bench.get("schema") != "bench-core/2":
-        problems.append(f"schema {bench.get('schema')!r} != 'bench-core/2'")
+    if bench.get("schema") != "bench-core/3":
+        problems.append(f"schema {bench.get('schema')!r} != 'bench-core/3'")
     if bench.get("reference", {}).get("events_per_sec", 0) <= 0:
         problems.append("reference events/sec must be nonzero")
 
@@ -62,13 +73,32 @@ def check(path: Path) -> int:
             f"mode={sweeps.get('parallel_mode')})"
         )
 
+    warm = bench.get("warm_start", {})
+    if warm.get("jobs", 0) <= 0:
+        problems.append("warm_start: no jobs")
+    for key in ("cold_wall_s", "deposit_wall_s", "warm_wall_s"):
+        if warm.get(key, 0) <= 0:
+            problems.append(f"warm_start.{key} must be positive")
+    if warm.get("values_equal") is not True:
+        problems.append(
+            "warm gate: warm-start results are not bit-identical to cold"
+        )
+    warm_speedup = warm.get("warm_speedup", 0.0)
+    if warm_speedup < WARM_SPEEDUP_FLOOR:
+        problems.append(
+            f"warm gate: speedup {warm_speedup:.2f}x below pathology floor "
+            f"{WARM_SPEEDUP_FLOOR} ({warm.get('cold_wall_s', 0):.2f}s cold "
+            f"vs {warm.get('warm_wall_s', 0):.2f}s warm)"
+        )
+
     if problems:
         for problem in problems:
             print(f"FAIL: {problem}", file=sys.stderr)
         return 1
     print(
         f"bench-core ok: {bench['reference']['events_per_sec']:,.0f} events/sec, "
-        f"parallel speedup {speedup:.2f}x (mode={sweeps.get('parallel_mode')})"
+        f"parallel speedup {speedup:.2f}x (mode={sweeps.get('parallel_mode')}), "
+        f"warm-start {warm_speedup:.2f}x (values_equal)"
     )
     return 0
 

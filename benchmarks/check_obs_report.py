@@ -12,8 +12,9 @@ Checks:
 * spans were recorded, and every inlined span record is internally
   consistent (``self_s <= duration_s``);
 * typed-event bookkeeping is consistent: per-kind counts sum to the
-  total seen, the retained sample is bounded by it, and the tracking
-  hot path actually emitted (``grow-sent`` present);
+  total seen, ``dropped + retained == seen`` (eviction accounting),
+  the retained sample is bounded by it, and the tracking hot path
+  actually emitted (``grow-sent`` present);
 * **conformance gate**: every Lemma 4.1/4.2 / Theorem 4.8 check ran at
   least once and reported zero violations (the probe scenario is
   fault-free and atomic, so any violation is a real regression).
@@ -69,6 +70,14 @@ def check(path: Path, allow_violations: bool = False) -> int:
         )
     if events.get("retained", 0) > seen:
         problems.append("retained events exceed events seen")
+    dropped = events.get("dropped")
+    if not isinstance(dropped, int) or dropped < 0:
+        problems.append(f"events.dropped {dropped!r} must be an int >= 0")
+    elif dropped + events.get("retained", 0) != seen:
+        problems.append(
+            f"dropped ({dropped}) + retained ({events.get('retained', 0)}) "
+            f"!= seen ({seen}) — eviction bookkeeping is off"
+        )
     if by_kind.get("grow-sent", 0) <= 0:
         problems.append("tracker hot path emitted no grow-sent events")
 

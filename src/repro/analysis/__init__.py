@@ -16,7 +16,6 @@ from .experiments import (
     FindCostResult,
     InvariantResult,
     MoveCostResult,
-    build_system,
     mean_find_work_by_distance,
     run_baseline_comparison,
     run_dithering,
@@ -65,7 +64,6 @@ __all__ = [
     "WorkSnapshot",
     "best_growth_model",
     "build_report",
-    "build_system",
     "find_time_bound",
     "find_work_bound",
     "fit_scale",

@@ -9,41 +9,19 @@ from __future__ import annotations
 
 import random
 import time
-import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
 from ..core.invariants import InvariantMonitor
 from ..core.vinestalk import VineStalk
 from ..mobility.models import BoundaryOscillator, RandomNeighborWalk, worst_boundary_pair
 from ..scenario import ScenarioConfig, build
 from ..topo import cache_enabled, topology_cache
-from .accounting import WorkAccountant
 from .bounds import (
     find_work_bound,
     move_work_bound_per_distance,
     search_level_for_distance,
 )
-
-
-def build_system(
-    r: int,
-    max_level: int,
-    delta: float = 1.0,
-    e: float = 0.5,
-    system_cls=VineStalk,
-) -> Tuple[VineStalk, WorkAccountant]:
-    """Deprecated: use ``build(ScenarioConfig(...))`` from repro.scenario."""
-    warnings.warn(
-        "build_system() is deprecated; use "
-        "repro.scenario.build(ScenarioConfig(...)) instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    scenario = build(
-        ScenarioConfig(r=r, max_level=max_level, delta=delta, e=e, system=system_cls)
-    )
-    return scenario.system, scenario.accountant
 
 
 # ----------------------------------------------------------------------
@@ -166,6 +144,35 @@ def run_find_at_distance(
     )
 
 
+def _warm_find_sweep_system(
+    r: int, max_level: int, delta: float, e: float
+) -> VineStalk:
+    """The seed-independent warm prefix of :func:`run_find_sweep`.
+
+    Build, settle an evader at the center, run to quiescence.  No seeded
+    draw happens before quiescence, so every seed of a sweep shares this
+    state — which is what makes it a depot-able warm base.
+    """
+    system = build(ScenarioConfig(r=r, max_level=max_level, delta=delta, e=e)).system
+    tiling = system.hierarchy.tiling
+    center = tiling.regions()[len(tiling.regions()) // 2]
+    system.make_evader(RandomNeighborWalk(start=center), dwell=1e12, start=center)
+    system.run_to_quiescence()
+    return system
+
+
+def plan_find_sweep_warm(
+    r: int,
+    max_level: int,
+    delta: float = 1.0,
+    e: float = 0.5,
+    **_ignored: Any,
+) -> Tuple[Hashable, Callable[[], Any]]:
+    """``(warm key, builder)`` for a find-sweep job (sweep-runner hook)."""
+    key = ("find_sweep", r, max_level, delta, e)
+    return key, lambda: _warm_find_sweep_system(r, max_level, delta, e)
+
+
 def run_find_sweep(
     r: int,
     max_level: int,
@@ -174,13 +181,24 @@ def run_find_sweep(
     delta: float = 1.0,
     e: float = 0.5,
     finds_per_distance: int = 3,
+    warm_start: bool = False,
 ) -> List[FindCostResult]:
-    """Finds at a sweep of distances from a settled evader at the center."""
-    system = build(ScenarioConfig(r=r, max_level=max_level, delta=delta, e=e)).system
+    """Finds at a sweep of distances from a settled evader at the center.
+
+    With ``warm_start=True`` the settled pre-find world comes from the
+    :mod:`repro.ckpt.depot` (restored from a snapshot payload, built and
+    deposited on first miss) instead of being rebuilt — bit-identical
+    results, the warm prefix paid once per process.
+    """
+    if warm_start:
+        from ..ckpt import depot
+
+        key, builder = plan_find_sweep_warm(r, max_level, delta, e)
+        system = depot.checkout_or_build(key, builder)
+    else:
+        system = _warm_find_sweep_system(r, max_level, delta, e)
     tiling = system.hierarchy.tiling
     center = tiling.regions()[len(tiling.regions()) // 2]
-    system.make_evader(RandomNeighborWalk(start=center), dwell=1e12, start=center)
-    system.run_to_quiescence()
     rng = random.Random(seed)
 
     results: List[FindCostResult] = []
@@ -310,29 +328,14 @@ class ComparisonRow:
         return self.move_work + self.find_work
 
 
-def run_baseline_comparison(
-    r: int,
-    max_level: int,
-    n_moves: int,
-    n_finds: int,
-    find_distance: int,
-    seed: int = 0,
-    start_corner: bool = True,
-) -> List[ComparisonRow]:
-    """Same workload across VINESTALK, home-agent, flooding and A–P.
+def _warm_baseline_state(
+    r: int, max_level: int, seed: int, start_corner: bool
+) -> Tuple[Any, Any, Any]:
+    """The warm prefix of :func:`run_baseline_comparison`.
 
-    The workload: ``n_moves`` random-walk steps, with ``n_finds`` finds
-    issued from regions at ``find_distance`` spread across the run.
-
-    By default the evader roams a corner of the world while the
-    home-agent rendezvous sits at the center — fixed rendezvous services
-    cannot co-locate with activity, which is exactly the non-locality
-    the locality-aware services are designed to avoid.
+    The evader's walk RNG is seeded here, so unlike the find-sweep base
+    this state is seed-specific — the warm key includes the seed.
     """
-    rows: List[ComparisonRow] = []
-    rng = random.Random(seed)
-
-    # --- VINESTALK (message-level) -------------------------------------
     config = ScenarioConfig(r=r, max_level=max_level)
     system, accountant = build(config).parts()
     tiling = system.hierarchy.tiling
@@ -343,6 +346,59 @@ def run_baseline_comparison(
         rng=random.Random(seed),
     )
     system.run_to_quiescence()
+    return system, accountant, evader
+
+
+def plan_baseline_comparison_warm(
+    r: int,
+    max_level: int,
+    seed: int = 0,
+    start_corner: bool = True,
+    **_ignored: Any,
+) -> Tuple[Hashable, Callable[[], Any]]:
+    """``(warm key, builder)`` for a baseline-comparison job."""
+    key = ("baseline_comparison", r, max_level, seed, start_corner)
+    return key, lambda: _warm_baseline_state(r, max_level, seed, start_corner)
+
+
+def run_baseline_comparison(
+    r: int,
+    max_level: int,
+    n_moves: int,
+    n_finds: int,
+    find_distance: int,
+    seed: int = 0,
+    start_corner: bool = True,
+    warm_start: bool = False,
+) -> List[ComparisonRow]:
+    """Same workload across VINESTALK, home-agent, flooding and A–P.
+
+    The workload: ``n_moves`` random-walk steps, with ``n_finds`` finds
+    issued from regions at ``find_distance`` spread across the run.
+
+    By default the evader roams a corner of the world while the
+    home-agent rendezvous sits at the center — fixed rendezvous services
+    cannot co-locate with activity, which is exactly the non-locality
+    the locality-aware services are designed to avoid.
+
+    ``warm_start=True`` restores the settled pre-measurement world from
+    the :mod:`repro.ckpt.depot` (see :func:`run_find_sweep`).
+    """
+    rows: List[ComparisonRow] = []
+
+    # --- VINESTALK (message-level) -------------------------------------
+    if warm_start:
+        from ..ckpt import depot
+
+        key, builder = plan_baseline_comparison_warm(r, max_level, seed, start_corner)
+        system, accountant, evader = depot.checkout_or_build(key, builder)
+    else:
+        system, accountant, evader = _warm_baseline_state(
+            r, max_level, seed, start_corner
+        )
+    config = ScenarioConfig(r=r, max_level=max_level)
+    tiling = system.hierarchy.tiling
+    rng = random.Random(seed)
     base = accountant.epoch()
     find_every = max(1, n_moves // max(1, n_finds))
     finds_done = 0

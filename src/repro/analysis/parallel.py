@@ -197,9 +197,49 @@ def topology_keys_of(jobs: Sequence[JobSpec]) -> Tuple[TopologyKey, ...]:
     return tuple(keys)
 
 
-def _warm_worker(keys: Tuple[TopologyKey, ...]) -> None:
-    """Pool initializer: pre-build the sweep's topologies in this worker."""
+# Warm-start planners: spec runner name → "module:attribute" resolving to
+# a ``plan(**kwargs) -> (warm key, builder)`` hook.  A runner appears here
+# exactly when it accepts a ``warm_start=`` kwarg backed by the
+# :mod:`repro.ckpt.depot`.
+WARM_PLANNERS: Dict[str, str] = {
+    "find_sweep": "repro.analysis.experiments:plan_find_sweep_warm",
+    "baseline_comparison": "repro.analysis.experiments:plan_baseline_comparison_warm",
+}
+
+
+def warm_plans_of(jobs: Sequence[JobSpec]) -> Dict[Any, Callable[[], Any]]:
+    """Distinct ``warm key → builder`` plans of a job list, first-use order.
+
+    Jobs whose runner has no registered warm planner contribute nothing
+    (they run cold even under a warm-start sweep).
+    """
+    plans: Dict[Any, Callable[[], Any]] = {}
+    for spec in jobs:
+        target = WARM_PLANNERS.get(spec.runner)
+        if target is None:
+            continue
+        module_name, _, attr = target.partition(":")
+        plan = getattr(import_module(module_name), attr)
+        key, builder = plan(**spec.kwargs)
+        plans.setdefault(key, builder)
+    return plans
+
+
+def _warm_worker(
+    keys: Tuple[TopologyKey, ...],
+    depot_entries: Optional[Dict[Any, bytes]] = None,
+) -> None:
+    """Pool initializer: pre-build the sweep's topologies in this worker.
+
+    When the sweep runs warm starts, the parent's serialized warm bases
+    ride along and seed this worker's :mod:`repro.ckpt.depot` — workers
+    then restore per job instead of rebuilding the warm prefix.
+    """
     topology_cache().warm(keys)
+    if depot_entries:
+        from ..ckpt import depot
+
+        depot.seed(depot_entries)
 
 
 def _resolve_workers(workers: Optional[int]) -> int:
@@ -236,6 +276,15 @@ class SweepRunner:
             large enough to amortize pickling for many small jobs, small
             enough to keep every worker busy through two rounds.
         mode: ``"auto"`` (default), ``"serial"`` or ``"parallel"``.
+        warm_start: Checkpoint each distinct warm base once (parent
+            side, after building it) and restore per job from the
+            :mod:`repro.ckpt.depot` instead of repaying the warm-up
+            prefix — see :func:`warm_plans_of` for which runners
+            participate.  Serial jobs hit the parent's depot directly;
+            pool workers receive the serialized bases through the
+            initializer.  Results are bit-identical to cold runs (the
+            ckpt golden guarantee); restore time is charged to each
+            job's ``setup_seconds``.
 
     ``mode="auto"`` heuristic — parallel only when it can plausibly win:
 
@@ -274,12 +323,14 @@ class SweepRunner:
         workers: Optional[int] = None,
         chunksize: Optional[int] = None,
         mode: str = "auto",
+        warm_start: bool = False,
     ) -> None:
         if mode not in ("auto", "serial", "parallel"):
             raise ValueError(f"mode must be auto/serial/parallel, got {mode!r}")
         self.workers = _resolve_workers(workers)
         self.chunksize = None if chunksize is None else max(1, int(chunksize))
         self.mode = mode
+        self.warm_start = bool(warm_start)
         self.last_mode: Optional[str] = None
 
     def _chunksize_for(self, n_jobs: int, workers: int) -> int:
@@ -292,6 +343,8 @@ class SweepRunner:
         jobs = list(jobs)
         for spec in jobs:  # fail fast on typos, before forking
             resolve_runner(spec.runner)
+        if self.warm_start:
+            jobs = self._prepare_warm(jobs)
         workers = min(self.workers, len(jobs))
         mode = self.mode
         if os.environ.get("REPRO_PARALLEL", "").strip() == "0":
@@ -315,10 +368,28 @@ class SweepRunner:
         self.last_mode = "processes"
         return [probe] + self._run_pool(rest, min(workers, len(rest)))
 
+    def _prepare_warm(self, jobs: List[JobSpec]) -> List[JobSpec]:
+        """Deposit the sweep's warm bases; flag participating specs."""
+        from ..ckpt import depot
+
+        for key, builder in warm_plans_of(jobs).items():
+            depot.ensure(key, builder)
+        return [
+            JobSpec(spec.runner, {**spec.kwargs, "warm_start": True})
+            if spec.runner in WARM_PLANNERS
+            else spec
+            for spec in jobs
+        ]
+
     def _run_pool(self, jobs: List[JobSpec], workers: int) -> List[JobResult]:
         keys = topology_keys_of(jobs)
+        depot_entries = None
+        if self.warm_start:
+            from ..ckpt import depot
+
+            depot_entries = depot.entries()
         with ProcessPoolExecutor(
-            max_workers=workers, initializer=_warm_worker, initargs=(keys,)
+            max_workers=workers, initializer=_warm_worker, initargs=(keys, depot_entries)
         ) as executor:
             return list(
                 executor.map(

@@ -1,0 +1,94 @@
+"""The per-process warm-scenario depot (``SweepRunner`` warm starts).
+
+A sweep whose jobs share a warm-up — build the world, attach the
+evader, run to quiescence — historically repaid that prefix per job.
+The depot stores the post-warm-up state once, as serialized snapshot
+payloads keyed by a picklable warm key, and hands each job a fresh
+restored copy:
+
+* in the parent / serial path, :func:`checkout_or_build` deposits on
+  first use and restores on every later hit;
+* in the parallel path, :class:`~repro.analysis.parallel.SweepRunner`
+  pre-builds the sweep's distinct warm bases, ships the payload dict to
+  the pool initializer (:func:`seed`), and workers restore per job.
+
+Restore and deposit time is charged through
+:func:`repro.topo.charge_setup`, so it lands in the existing
+``JobResult`` setup/run wall split with no new accounting.
+
+Like the topology cache, the depot is per-process state: payloads are
+bytes (each checkout unpickles a disjoint graph), so jobs can never
+leak mutations into each other through it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
+
+from ..topo import charge_setup
+from .codec import dumps_graph, loads_graph
+
+_DEPOT: Dict[Hashable, bytes] = {}
+
+
+def deposit(key: Hashable, graph: Any) -> bytes:
+    """Serialize ``graph`` under ``key``; returns the payload bytes."""
+    payload, _ = dumps_graph(graph)
+    _DEPOT[key] = payload
+    return payload
+
+
+def seed(entries: Dict[Hashable, bytes]) -> None:
+    """Install pre-serialized payloads (the pool-initializer path)."""
+    _DEPOT.update(entries)
+
+
+def checkout(key: Hashable) -> Optional[Any]:
+    """A fresh restored copy of the deposit under ``key`` (None on miss).
+
+    Restore time is charged as setup wall.
+    """
+    payload = _DEPOT.get(key)
+    if payload is None:
+        return None
+    with charge_setup():
+        return loads_graph(payload)
+
+
+def checkout_or_build(key: Hashable, builder: Callable[[], Any]) -> Any:
+    """Restore the deposit under ``key``, building and depositing on miss.
+
+    The builder runs outside the setup charge (its own internals charge
+    what they always charged); only the serialize/restore work this
+    module adds is billed as setup.
+    """
+    graph = checkout(key)
+    if graph is not None:
+        return graph
+    graph = builder()
+    with charge_setup():
+        deposit(key, graph)
+    return graph
+
+
+def ensure(key: Hashable, builder: Callable[[], Any]) -> None:
+    """Build and deposit under ``key`` unless already deposited.
+
+    The parent-side warm-up path: no restore happens here, so the sweep
+    runner can pre-populate the depot without paying a checkout per key.
+    """
+    if key in _DEPOT:
+        return
+    graph = builder()
+    with charge_setup():
+        deposit(key, graph)
+
+
+def entries() -> Dict[Hashable, bytes]:
+    """The raw payload dict (what the sweep runner ships to workers)."""
+    return dict(_DEPOT)
+
+
+def clear() -> None:
+    """Drop every deposit (tests and cross-sweep hygiene)."""
+    _DEPOT.clear()

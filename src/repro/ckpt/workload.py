@@ -1,0 +1,65 @@
+"""The canonical replayable workload behind ``repro snapshot/resume/bisect``.
+
+One seeded, fully scheduled tracked walk: moves on a fixed timer, one
+find late in the run, everything placed on the event queue up front so
+the *entire* remaining workload is part of any snapshot taken mid-run.
+The golden suites and the CLI replay tooling all drive this shape, so a
+``repro snapshot`` taken at any cut point resumes through ``repro
+resume`` with no out-of-band driver state.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..mobility.models import RandomNeighborWalk
+from ..scenario import Scenario, ScenarioConfig, build
+
+#: Default spacing of the scheduled moves (sim time).
+MOVE_EVERY = 10.0
+
+#: Default sim time at which the one find is issued.
+FIND_AT = 55.0
+
+
+def schedule_tracked_walk(
+    scenario: Scenario,
+    moves: int = 5,
+    move_every: float = MOVE_EVERY,
+    find_at: Optional[float] = FIND_AT,
+):
+    """Attach an evader and schedule the canonical workload onto it.
+
+    Moves fire at ``move_every * k`` (k = 1..moves); when ``find_at`` is
+    given, a find from the corner region is scheduled there.  The walk
+    RNG is seeded from ``scenario.config.seed``.  Returns the evader.
+    """
+    system = scenario.system
+    regions = system.hierarchy.tiling.regions()
+    center = regions[len(regions) // 2]
+    evader = system.make_evader(
+        RandomNeighborWalk(start=center),
+        dwell=1e12,
+        start=center,
+        rng=random.Random(scenario.config.seed),
+    )
+    for k in range(1, moves + 1):
+        system.sim.call_at(move_every * k, evader.step, tag="walk-move")
+    if find_at is not None:
+        system.sim.call_at(
+            find_at, lambda: system.issue_find(regions[0]), tag="walk-find"
+        )
+    return evader
+
+
+def walk_horizon(moves: int, move_every: float = MOVE_EVERY) -> float:
+    """Sim time by which the whole scheduled walk has settled."""
+    return move_every * (moves + 2)
+
+
+def build_tracked_walk(config: ScenarioConfig, moves: int = 5) -> Scenario:
+    """Build ``config`` (trace forced on) with the walk scheduled."""
+    scenario = build(config.with_(trace=True))
+    schedule_tracked_walk(scenario, moves=moves)
+    return scenario

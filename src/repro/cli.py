@@ -6,7 +6,13 @@ Commands:
 * ``find``     — sweep find costs by distance on a chosen world;
 * ``chaos``    — run the fault-injection harness and print recovery metrics;
 * ``report``   — regenerate the EXPERIMENTS.md content (to stdout or a file);
-* ``validate`` — run the full §II-B hierarchy validation for a world.
+* ``validate`` — run the full §II-B hierarchy validation for a world;
+* ``snapshot`` — run the canonical tracked walk to a cut point and write
+  a ``ckpt/1`` checkpoint file;
+* ``resume``   — restore a checkpoint and run its continuation to the end
+  (bit-identical to the uninterrupted run);
+* ``bisect``   — replay two run variants in lockstep and report the first
+  diverging event.
 
 The world-shape flags (``--r``, ``--max-level``, ``--seed``) are shared
 by every world-building command via a common parent parser; each command
@@ -90,6 +96,44 @@ def _build_parser() -> argparse.ArgumentParser:
     validate.add_argument(
         "--skip-proximity", action="store_true", help="skip the proximity check"
     )
+
+    snapshot = sub.add_parser(
+        "snapshot", parents=[common],
+        help="checkpoint the canonical tracked walk at a cut point",
+    )
+    snapshot.set_defaults(r=2, max_level=2, seed=7)
+    snapshot.add_argument("--at", type=float, default=25.0,
+                          help="sim time of the cut point (default 25)")
+    snapshot.add_argument("--moves", type=int, default=5,
+                          help="scheduled walk moves (default 5)")
+    snapshot.add_argument("--loss", type=float, default=None,
+                          help="arm a message-loss fault plan at this rate")
+    snapshot.add_argument("--out", default="walk.ckpt",
+                          help="checkpoint path (default walk.ckpt)")
+
+    resume = sub.add_parser(
+        "resume", help="restore a checkpoint and run it to completion"
+    )
+    resume.add_argument("path", help="a ckpt/1 file written by 'repro snapshot'")
+    resume.add_argument("--until", type=float, default=None,
+                        help="sim time to run to (default: the walk horizon)")
+    resume.add_argument("--json", action="store_true",
+                        help="emit the run fingerprint as JSON")
+
+    bisect = sub.add_parser(
+        "bisect", parents=[common],
+        help="locate the first diverging event between two run variants",
+    )
+    bisect.set_defaults(r=2, max_level=2, seed=7)
+    bisect.add_argument("--a", default="base", dest="variant_a",
+                        help='variant A, e.g. "base" or "cache:off,loss:0.3"')
+    bisect.add_argument("--b", default="base", dest="variant_b",
+                        help='variant B, e.g. "seed:8" or "obs:on"')
+    bisect.add_argument("--moves", type=int, default=5)
+    bisect.add_argument("--window", type=int, default=256,
+                        help="events per lockstep window (default 256)")
+    bisect.add_argument("--json", action="store_true",
+                        help="emit the divergence report as JSON")
     return parser
 
 
@@ -259,6 +303,103 @@ def cmd_validate(args) -> int:
     return 0
 
 
+def cmd_snapshot(args) -> int:
+    from .ckpt import build_tracked_walk, save, snapshot_scenario
+    from .scenario import ScenarioConfig
+
+    config = ScenarioConfig(r=args.r, max_level=args.max_level, seed=args.seed)
+    if args.loss is not None:
+        from .faults.plan import CHANNEL_BOTH, FaultPlan, MessageLoss
+
+        config = config.with_(
+            fault_plan=FaultPlan.of(MessageLoss(rate=args.loss, channel=CHANNEL_BOTH))
+        )
+    scenario = build_tracked_walk(config, moves=args.moves)
+    scenario.sim.run_until(args.at)
+    snapshot = snapshot_scenario(
+        scenario, note=f"tracked-walk moves={args.moves}"
+    )
+    save(snapshot, args.out)
+    meta = snapshot.meta
+    print(
+        f"wrote {args.out}: schema {meta.schema}, t={meta.sim_time:g}, "
+        f"{meta.events_fired} events fired, "
+        f"{len(snapshot.payload)} payload bytes, "
+        f"topo keys {[f'{k.kind}(r={k.r},M={k.max_level})' for k in meta.topo_keys]}"
+    )
+    return 0
+
+
+def _note_moves(note: str, default: int = 5) -> int:
+    """Moves count embedded in a snapshot note by ``cmd_snapshot``."""
+    for token in note.split():
+        if token.startswith("moves="):
+            try:
+                return int(token[len("moves="):])
+            except ValueError:
+                break
+    return default
+
+
+def cmd_resume(args) -> int:
+    from .ckpt import load, trace_fingerprint, walk_horizon
+    from .scenario import build
+
+    snapshot = load(args.path)
+    until = args.until
+    if until is None:
+        until = walk_horizon(_note_moves(snapshot.meta.note))
+    scenario = build(snapshot.config.with_(resume_from=snapshot))
+    scenario.sim.run_until(until)
+    fp = trace_fingerprint(scenario)
+    finds = scenario.system.finds.records.values()
+    if args.json:
+        print(json.dumps({
+            "resumed_from_t": snapshot.meta.sim_time,
+            "ran_until": until,
+            "sim_time": fp[0],
+            "events_fired": fp[1],
+            "trace_records": fp[2],
+            "trace_crc": fp[3],
+            "evader_region": list(fp[4]) if fp[4] is not None else None,
+            "finds_completed": sum(1 for r in finds if r.completed),
+        }))
+        return 0
+    print(
+        f"resumed {args.path} from t={snapshot.meta.sim_time:g} to "
+        f"t={fp[0]:g}: {fp[1]} events fired, {fp[2]} trace records "
+        f"(crc {fp[3]:#010x}), evader at {fp[4]}"
+    )
+    return 0
+
+
+def cmd_bisect(args) -> int:
+    from .ckpt import Variant, bisect_divergence
+    from .scenario import ScenarioConfig
+
+    report = bisect_divergence(
+        ScenarioConfig(r=args.r, max_level=args.max_level, seed=args.seed),
+        Variant.parse(args.variant_a),
+        Variant.parse(args.variant_b),
+        moves=args.moves,
+        window=args.window,
+    )
+    if args.json:
+        print(json.dumps(report.as_dict(), sort_keys=True))
+        return 0
+    print(f"bisect [{report.variant_a}] vs [{report.variant_b}]: {report.note}")
+    if report.diverged:
+        for label, info in (("A", report.event_a), ("B", report.event_b)):
+            if info is None:
+                print(f"  side {label}: (no event — side had already drained)")
+                continue
+            print(f"  side {label}: event at t={info.time:g}, "
+                  f"{len(info.records)} trace records")
+            for rec in info.records[:4]:
+                print(f"    {rec}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -267,6 +408,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         "chaos": cmd_chaos,
         "report": cmd_report,
         "validate": cmd_validate,
+        "snapshot": cmd_snapshot,
+        "resume": cmd_resume,
+        "bisect": cmd_bisect,
     }
     return handlers[args.command](args)
 

@@ -46,6 +46,7 @@ class ObsCollector:
         self.metrics = MetricsRegistry()
         self.events: deque = deque(maxlen=max_events)
         self.events_seen = 0
+        self.events_dropped = 0
         self.spans: List[SpanRecord] = []
         self.spans_dropped = 0
         self.max_spans = max_spans
@@ -58,8 +59,16 @@ class ObsCollector:
     # Typed events
     # ------------------------------------------------------------------
     def emit(self, event: Any) -> None:
-        """Record one typed event and notify subscribers."""
+        """Record one typed event and notify subscribers.
+
+        When the bounded deque is full, appending evicts the oldest
+        retained event; ``events_dropped`` counts those evictions so the
+        export can say how much of the stream the sample is missing
+        (``dropped + retained == seen`` always).
+        """
         self.events_seen += 1
+        if self.events.maxlen is not None and len(self.events) == self.events.maxlen:
+            self.events_dropped += 1
         self.events.append(event)
         self.metrics.counter(f"events.{event.kind}").add()
         for fn in self._subscribers:

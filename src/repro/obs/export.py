@@ -57,6 +57,7 @@ def obs_payload(
         "events": {
             "seen": collector.events_seen,
             "retained": len(retained),
+            "dropped": collector.events_dropped,
             "by_kind": collector.events_by_kind(),
             "sample": [event_dict(e) for e in retained[-EVENT_SAMPLE_LIMIT:]],
         },

@@ -71,6 +71,12 @@ class ScenarioConfig:
         schedule: Explicit :class:`~repro.core.timers.TimerSchedule`.
         fault_plan: Optional :class:`~repro.faults.plan.FaultPlan`; when
             set, :func:`build` arms a fault injector seeded by ``seed``.
+        resume_from: A :class:`~repro.ckpt.Snapshot` (or a path to a
+            saved ``ckpt/1`` file); :func:`build` then restores the
+            snapshot's continuation instead of constructing a fresh
+            world.  Every other field must either match the snapshot's
+            own config or be left at its default — a checkpoint cannot
+            be rebuilt under different knobs.
     """
 
     r: int = 3
@@ -88,6 +94,7 @@ class ScenarioConfig:
     hierarchy: Optional[Any] = None
     schedule: Optional[Any] = None
     fault_plan: Optional[FaultPlan] = None
+    resume_from: Optional[Any] = None
 
     def __post_init__(self) -> None:
         if isinstance(self.system, str):
@@ -143,7 +150,7 @@ class Scenario:
         return self.injector.stats if self.injector is not None else None
 
     def parts(self):
-        """``(system, accountant)`` — the legacy ``build_system`` shape."""
+        """``(system, accountant)`` — the two-tuple most runners unpack."""
         return self.system, self.accountant
 
 
@@ -244,6 +251,14 @@ def build(config: ScenarioConfig) -> Scenario:
     ``config.seed``.  Analytic baselines get neither (they have no
     simulator to perturb).
 
+    A config with ``resume_from`` set restores that checkpoint's
+    continuation instead (see :mod:`repro.ckpt`): the returned scenario
+    picks up at the snapshot's simulation time with its event queue, RNG
+    streams and automata state intact, and resumes bit-identically to
+    the uninterrupted run.  The caller's other fields must match the
+    snapshot's config (or all sit at their defaults) — mismatches raise
+    :class:`~repro.ckpt.CkptCompatError`.
+
     When no explicit ``hierarchy`` is given, the grid hierarchy comes
     from the per-process :mod:`repro.topo` cache: the same
     ``(r, max_level)`` builds the cluster hierarchy and tiling neighbor
@@ -256,9 +271,32 @@ def build(config: ScenarioConfig) -> Scenario:
     """
     from .topo import cache_enabled, charge_setup, topology_cache
 
+    if config.resume_from is not None:
+        return _build_resumed(config)
     with charge_setup():
         with obs_span("scenario.build", phase="build"):
             return _build_timed(config, cache_enabled(), topology_cache())
+
+
+def _build_resumed(config: ScenarioConfig) -> Scenario:
+    """The ``resume_from`` path: restore a checkpoint's continuation."""
+    # Lazy: repro.ckpt imports this module.
+    from .ckpt import CkptCompatError, Snapshot, load, restore_scenario
+    from .topo import charge_setup
+
+    source = config.resume_from
+    with charge_setup():
+        with obs_span("scenario.resume", phase="build"):
+            snapshot = source if isinstance(source, Snapshot) else load(source)
+            caller = config.with_(resume_from=None)
+            if caller != ScenarioConfig() and caller != snapshot.config:
+                raise CkptCompatError(
+                    "resume_from config mismatch: the other ScenarioConfig "
+                    "fields must equal the snapshot's config (or all stay "
+                    f"at defaults); got {caller!r} vs snapshot "
+                    f"{snapshot.config!r}"
+                )
+            return restore_scenario(snapshot).scenario
 
 
 def _build_timed(

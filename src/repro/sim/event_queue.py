@@ -20,7 +20,6 @@ pop, which lets the simulator loop do a single head scan per fired event
 from __future__ import annotations
 
 import heapq
-import itertools
 from typing import Any, Callable, Optional
 
 
@@ -81,7 +80,7 @@ class EventQueue:
 
     def __init__(self) -> None:
         self._heap: list[tuple] = []
-        self._counter = itertools.count()
+        self._next_seq = 0
         self._live = 0
 
     def __len__(self) -> int:
@@ -100,7 +99,8 @@ class EventQueue:
         """Schedule ``fn`` at ``time`` and return a cancellable handle."""
         if time != time:  # NaN guard
             raise ValueError("event time must not be NaN")
-        seq = next(self._counter)
+        seq = self._next_seq
+        self._next_seq = seq + 1
         event = Event(time, priority, seq, fn, tag)
         heapq.heappush(self._heap, (time, priority, seq, event))
         self._live += 1
@@ -161,6 +161,51 @@ class EventQueue:
     def clear(self) -> None:
         self._heap.clear()
         self._live = 0
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore (repro.ckpt engine hook)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Capture the queue's full ordering state as plain data.
+
+        The capture carries every pending entry — time, priority, the
+        tie-breaking sequence number, the callback, the tag and the
+        cancellation flag — plus the next sequence number, so a restored
+        queue pops the exact same events in the exact same ``(time,
+        priority, seq)`` order and assigns future pushes the same
+        sequence numbers the original would have.  Callbacks are held by
+        reference; cross-process portability is the
+        :mod:`repro.ckpt` codec's job, not this method's.
+        """
+        return {
+            "entries": [
+                (time, priority, seq, event.fn, event.tag, event._cancelled)
+                for (time, priority, seq, event) in self._heap
+            ],
+            "next_seq": self._next_seq,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Reinstate a :meth:`snapshot` capture.
+
+        Fresh :class:`Event` handles are built for every entry, so the
+        restored queue shares no mutable state with the snapshot (or
+        with handles returned by pushes before the snapshot — those
+        handles no longer control the restored queue's entries).
+        """
+        heap: list[tuple] = []
+        live = 0
+        for time, priority, seq, fn, tag, cancelled in state["entries"]:
+            event = Event(time, priority, seq, fn, tag)
+            if cancelled:
+                event._cancelled = True
+            else:
+                live += 1
+            heap.append((time, priority, seq, event))
+        heapq.heapify(heap)
+        self._heap = heap
+        self._live = live
+        self._next_seq = state["next_seq"]
 
     def _drop_cancelled(self) -> None:
         heap = self._heap

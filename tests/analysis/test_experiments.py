@@ -3,7 +3,6 @@
 import pytest
 
 from repro.analysis import (
-    build_system,
     mean_find_work_by_distance,
     run_baseline_comparison,
     run_dithering,
@@ -96,13 +95,10 @@ class TestOtherRunners:
         assert names == ["vinestalk", "home-agent", "awerbuch-peleg", "flooding"]
         assert all(row.total >= 0 for row in rows)
 
-    def test_build_system_shim_is_deprecated_but_works(self):
-        with pytest.deprecated_call():
-            system, accountant = build_system(2, 2)
-        system.make_evader(
-            __import__("repro.mobility", fromlist=["FixedPath"]).FixedPath([(0, 0)]),
-            dwell=1e12,
-            start=(0, 0),
-        )
-        system.run_to_quiescence()
-        assert accountant.messages > 0
+    def test_build_system_shim_is_gone(self):
+        import repro.analysis
+        import repro.analysis.experiments
+
+        assert not hasattr(repro.analysis, "build_system")
+        assert not hasattr(repro.analysis.experiments, "build_system")
+        assert "build_system" not in repro.analysis.__all__

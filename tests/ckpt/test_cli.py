@@ -1,0 +1,55 @@
+"""The ``repro snapshot`` / ``resume`` / ``bisect`` CLI surface."""
+
+import json
+
+from repro.cli import main
+
+
+class TestSnapshotResume:
+    def test_snapshot_then_resume_round_trips(self, tmp_path, capsys):
+        path = str(tmp_path / "walk.ckpt")
+        assert main(["snapshot", "--out", path]) == 0
+        out = capsys.readouterr().out
+        assert "ckpt/1" in out and path in out
+
+        assert main(["resume", path]) == 0
+        out = capsys.readouterr().out
+        assert "resumed" in out and "t=70" in out
+
+    def test_resume_json_is_stable_across_invocations(self, tmp_path, capsys):
+        path = str(tmp_path / "walk.ckpt")
+        main(["snapshot", "--out", path, "--at", "12.5"])
+        capsys.readouterr()
+        main(["resume", path, "--json"])
+        first = json.loads(capsys.readouterr().out)
+        main(["resume", path, "--json"])
+        second = json.loads(capsys.readouterr().out)
+        assert first == second
+        assert first["resumed_from_t"] == 12.5
+        assert first["ran_until"] == 70.0  # from the note's moves=5
+
+    def test_snapshot_with_loss_plan(self, tmp_path, capsys):
+        path = str(tmp_path / "lossy.ckpt")
+        assert main(["snapshot", "--out", path, "--loss", "0.3"]) == 0
+        capsys.readouterr()
+        assert main(["resume", path]) == 0
+
+
+class TestBisect:
+    def test_identical_variants(self, capsys):
+        assert main(["bisect", "--a", "base", "--b", "base"]) == 0
+        assert "no divergence" in capsys.readouterr().out
+
+    def test_seed_divergence_reported(self, capsys):
+        assert main(["bisect", "--a", "base", "--b", "seed:8",
+                     "--window", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "first divergence at event" in out
+        assert "side A" in out and "side B" in out
+
+    def test_json_report(self, capsys):
+        assert main(["bisect", "--a", "base", "--b", "seed:8", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["diverged"] is True
+        assert isinstance(report["event_index"], int)
+        assert report["variant_b"] == "seed:8"

@@ -1,0 +1,151 @@
+"""Warm-start sweeps: depot semantics + cold/warm result equality.
+
+The depot stores serialized warm bases and hands out disjoint restored
+copies; ``SweepRunner(warm_start=True)`` must return results equal to
+the cold path — the measured phase runs on a restored copy of exactly
+the state the cold path rebuilds (the ckpt golden guarantee applied to
+sweep economics).
+"""
+
+import pytest
+
+from repro.analysis.experiments import (
+    run_baseline_comparison,
+    run_find_sweep,
+)
+from repro.analysis.parallel import (
+    SweepRunner,
+    e2_jobs,
+    e8_jobs,
+    job,
+    warm_plans_of,
+)
+from repro.ckpt import depot
+
+
+@pytest.fixture(autouse=True)
+def fresh_depot():
+    depot.clear()
+    yield
+    depot.clear()
+
+
+class TestDepot:
+    def test_checkout_miss_returns_none(self):
+        assert depot.checkout("nope") is None
+
+    def test_checkouts_are_disjoint_copies(self):
+        depot.deposit("k", {"inner": [1, 2, 3]})
+        first = depot.checkout("k")
+        second = depot.checkout("k")
+        first["inner"].append(99)
+        assert second == {"inner": [1, 2, 3]}
+
+    def test_checkout_or_build_builds_once(self):
+        calls = []
+
+        def builder():
+            calls.append(1)
+            return {"n": len(calls)}
+
+        assert depot.checkout_or_build("k", builder) == {"n": 1}
+        assert depot.checkout_or_build("k", builder) == {"n": 1}
+        assert len(calls) == 1
+
+    def test_ensure_is_idempotent(self):
+        calls = []
+        depot.ensure("k", lambda: calls.append(1) or "x")
+        depot.ensure("k", lambda: calls.append(1) or "x")
+        assert len(calls) == 1
+        assert depot.checkout("k") == "x"
+
+    def test_entries_and_seed_round_trip(self):
+        depot.deposit("k", [1, 2])
+        shipped = depot.entries()
+        depot.clear()
+        depot.seed(shipped)
+        assert depot.checkout("k") == [1, 2]
+
+
+class TestWarmRunnersMatchCold:
+    def test_find_sweep_warm_equals_cold(self):
+        cold = run_find_sweep(2, 3, [1, 2], seed=21, finds_per_distance=2)
+        warm_first = run_find_sweep(
+            2, 3, [1, 2], seed=21, finds_per_distance=2, warm_start=True
+        )  # deposit miss: builds + deposits
+        warm_second = run_find_sweep(
+            2, 3, [1, 2], seed=21, finds_per_distance=2, warm_start=True
+        )  # deposit hit: restores
+        assert warm_first == cold
+        assert warm_second == cold
+
+    def test_find_sweep_seeds_share_one_base(self):
+        run_find_sweep(2, 3, [1], seed=21, warm_start=True)
+        run_find_sweep(2, 3, [1], seed=22, warm_start=True)
+        assert len(depot.entries()) == 1  # base is seed-independent
+
+    def test_baseline_comparison_warm_equals_cold(self):
+        cold = run_baseline_comparison(
+            2, 3, n_moves=4, n_finds=2, find_distance=1, seed=61
+        )
+        warm = run_baseline_comparison(
+            2, 3, n_moves=4, n_finds=2, find_distance=1, seed=61,
+            warm_start=True,
+        )
+        warm_again = run_baseline_comparison(
+            2, 3, n_moves=4, n_finds=2, find_distance=1, seed=61,
+            warm_start=True,
+        )
+        assert warm == cold
+        assert warm_again == cold
+
+    def test_baseline_comparison_key_includes_seed(self):
+        run_baseline_comparison(
+            2, 3, n_moves=2, n_finds=1, find_distance=1, seed=1,
+            warm_start=True,
+        )
+        run_baseline_comparison(
+            2, 3, n_moves=2, n_finds=1, find_distance=1, seed=2,
+            warm_start=True,
+        )
+        assert len(depot.entries()) == 2  # evader RNG is baked into the base
+
+
+class TestSweepRunnerWarmStart:
+    def test_warm_plans_dedupe_by_key(self):
+        plans = warm_plans_of(e2_jobs(distances=(1, 2), finds_per_distance=1))
+        assert list(plans) == [("find_sweep", 2, 4, 1.0, 0.5)]
+        assert len(warm_plans_of(e8_jobs(levels=(3, 4)))) == 2
+
+    def test_unplanned_runners_run_cold(self):
+        plans = warm_plans_of([job("move_walk", r=2, max_level=2, n_moves=2)])
+        assert plans == {}
+        results = SweepRunner(mode="serial", warm_start=True).run(
+            [job("move_walk", r=2, max_level=2, n_moves=2, seed=3)]
+        )
+        assert "warm_start" not in results[0].spec.kwargs
+
+    def test_serial_warm_sweep_equals_cold(self):
+        jobs = e2_jobs(distances=(1, 2), finds_per_distance=2)
+        cold = SweepRunner(mode="serial").run(jobs)
+        depot.clear()
+        warm = SweepRunner(mode="serial", warm_start=True).run(jobs)
+        assert [r.value for r in warm] == [r.value for r in cold]
+        assert all(r.spec.kwargs["warm_start"] for r in warm)
+        assert list(depot.entries()) == [("find_sweep", 2, 4, 1.0, 0.5)]
+
+    def test_parallel_warm_sweep_equals_cold(self):
+        jobs = e8_jobs(levels=(3, 4), n_moves=3, n_finds=2)
+        cold = SweepRunner(mode="serial").run(jobs)
+        depot.clear()
+        warm = SweepRunner(mode="parallel", workers=2, warm_start=True).run(jobs)
+        assert warm[0].spec.kwargs["warm_start"] is True
+        assert [r.value for r in warm] == [r.value for r in cold]
+
+    def test_restore_time_lands_in_setup_split(self):
+        jobs = e2_jobs(distances=(1,), finds_per_distance=1)
+        runner = SweepRunner(mode="serial", warm_start=True)
+        runner.run(jobs)  # deposits
+        for result in runner.run(jobs):  # pure restores
+            assert result.setup_seconds > 0.0
+            assert result.setup_seconds <= result.wall_seconds + 1e-9

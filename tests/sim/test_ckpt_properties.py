@@ -1,0 +1,202 @@
+"""Property-based round-trip suites for the repro.ckpt engine hooks.
+
+Two state carriers must survive snapshot/restore bit-identically for
+checkpoints to resume bit-identically:
+
+* :class:`~repro.sim.rng.RngRegistry` — ``state()`` → ``restore()``
+  must put every named stream back mid-sequence, so the restored
+  registry's future draws equal the original's;
+* :class:`~repro.sim.event_queue.EventQueue` — ``snapshot()`` →
+  ``restore()`` must preserve pop order (including ``(time, priority,
+  seq)`` tie-breaking), cancellation flags, and the sequence counter so
+  post-restore pushes tie-break exactly as post-snapshot pushes would.
+
+Both are exercised under random interleavings, with the restored object
+run in lockstep against the original.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.sim.event_queue import EventQueue  # noqa: E402
+from repro.sim.rng import RngRegistry  # noqa: E402
+
+# ----------------------------------------------------------------------
+# RngRegistry state()/restore()
+# ----------------------------------------------------------------------
+stream_names = st.sampled_from(
+    ["fault.0.MessageLoss", "fault.1.RegionBlackout", "walk", "alpha", "b"]
+)
+# An op draws from a named stream (creating it on first use).
+rng_ops = st.lists(st.tuples(stream_names, st.integers(0, 3)), max_size=60)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1), warmup=rng_ops, after=rng_ops)
+def test_rng_registry_roundtrip_mid_sequence(seed, warmup, after):
+    original = RngRegistry(seed)
+    for name, draws in warmup:
+        stream = original.stream(name)
+        for _ in range(draws):
+            stream.random()
+
+    clone = RngRegistry(seed + 1)  # wrong seed on purpose: restore must fix it
+    clone.restore(original.state())
+    assert clone.seed == original.seed
+    assert clone.fork_path == original.fork_path
+    assert clone.names() == original.names()
+
+    for name, draws in after:
+        a, b = original.stream(name), clone.stream(name)
+        for _ in range(draws + 1):
+            assert a.random() == b.random()
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 2**32 - 1), warmup=rng_ops, index=st.integers(0, 5))
+def test_rng_registry_fork_from_restored_state(seed, warmup, index):
+    """Restoring a state then forking equals forking the original."""
+    original = RngRegistry(seed)
+    for name, draws in warmup:
+        stream = original.stream(name)
+        for _ in range(draws):
+            stream.random()
+    state = original.state()
+
+    clone = RngRegistry(0)
+    clone.restore(state)
+    original.fork(index)
+    clone.fork(index)
+    assert original.fork_path == clone.fork_path
+    for name in original.names():
+        assert original.stream(name).random() == clone.stream(name).random()
+
+
+@given(seed=st.integers(0, 2**32 - 1), a=st.integers(0, 5), b=st.integers(0, 5))
+@settings(max_examples=30, deadline=None)
+def test_rng_registry_forks_diverge_iff_index_differs(seed, a, b):
+    state = RngRegistry(seed).state()
+    x, y = RngRegistry(0), RngRegistry(0)
+    x.restore(state)
+    y.restore(state)
+    draws_x = [x.fork(a).stream("s").random() for _ in range(3)]
+    draws_y = [y.fork(b).stream("s").random() for _ in range(3)]
+    if a == b:
+        assert draws_x == draws_y
+    else:
+        assert draws_x != draws_y
+
+
+# ----------------------------------------------------------------------
+# EventQueue snapshot()/restore()
+# ----------------------------------------------------------------------
+times = st.floats(
+    min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+priorities = st.integers(min_value=-3, max_value=3)
+
+queue_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), times, priorities),
+        st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=200)),
+        st.tuples(st.just("pop")),
+        st.tuples(st.just("pop_before"), times),
+    ),
+    max_size=100,
+)
+
+
+def _apply(queue, handles, op):
+    """Apply one op; return the popped event's key or a sentinel."""
+    if op[0] == "push":
+        _, time, priority = op
+        handles.append(queue.push(time, fn=lambda: None, priority=priority))
+        return ("pushed", handles[-1].seq)
+    if op[0] == "cancel":
+        if handles:
+            queue.cancel(handles[op[1] % len(handles)])
+        return ("cancelled",)
+    until = None if op[0] == "pop" else op[1]
+    event = queue.pop_next_before(until)
+    if event is None:
+        return ("none",)
+    return ("popped", event.time, event.priority, event.seq, event.tag)
+
+
+@settings(max_examples=80, deadline=None)
+@given(before=queue_ops, after=queue_ops)
+def test_event_queue_roundtrip_under_interleaving(before, after):
+    """snapshot → restore → identical behavior under any continuation.
+
+    The original runs ``before`` ops, gets snapshotted into a fresh
+    queue, and both then run ``after`` in lockstep — every pop must
+    return the same ``(time, priority, seq)`` key on both sides, and
+    post-restore pushes must receive identical sequence numbers.
+    """
+    original = EventQueue()
+    handles = []
+    for op in before:
+        _apply(original, handles, op)
+
+    restored = EventQueue()
+    restored.restore(original.snapshot())
+    assert len(restored) == len(original)
+
+    # The restored queue built fresh handles; map by seq for cancels.
+    restored_handles = {
+        entry[3].seq: entry[3] for entry in restored._heap
+    }
+
+    for op in after:
+        expected = _apply(original, handles, op)
+        if op[0] == "cancel":
+            # Mirror the cancel onto the restored twin by seq.
+            if handles:
+                twin = restored_handles.get(handles[op[1] % len(handles)].seq)
+                if twin is not None:
+                    restored.cancel(twin)
+            continue
+        if op[0] == "push":
+            _, time, priority = op
+            event = restored.push(time, fn=lambda: None, priority=priority)
+            restored_handles[event.seq] = event
+            assert ("pushed", event.seq) == expected
+            continue
+        until = None if op[0] == "pop" else op[1]
+        event = restored.pop_next_before(until)
+        got = (
+            ("none",)
+            if event is None
+            else ("popped", event.time, event.priority, event.seq, event.tag)
+        )
+        assert got == expected
+        assert len(restored) == len(original)
+
+    # Full drain must agree too (covers entries `after` never reached).
+    while True:
+        a = original.pop_next_before(None)
+        b = restored.pop_next_before(None)
+        assert (a is None) == (b is None)
+        if a is None:
+            break
+        assert (a.time, a.priority, a.seq) == (b.time, b.priority, b.seq)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=queue_ops)
+def test_event_queue_snapshot_is_inert(ops):
+    """Taking a snapshot never perturbs the queue it captures."""
+    queue = EventQueue()
+    handles = []
+    results = []
+    for op in ops:
+        queue.snapshot()
+        results.append(_apply(queue, handles, op))
+
+    twin = EventQueue()
+    twin_handles = []
+    expected = [_apply(twin, twin_handles, op) for op in ops]
+    assert results == expected
