@@ -1,17 +1,34 @@
-"""Validate a BENCH_core.json artifact (bench-core/3).
+"""Validate a BENCH_core.json artifact (bench-core/4).
 
 CI's smoke-bench step runs this after :mod:`make_bench_core`; exits
 nonzero when the artifact is malformed or a gate fails.
 
 Checks:
 
-* schema is ``bench-core/3`` and the reference throughput is nonzero;
-* every experiment ran jobs and fired events, and the per-experiment
-  setup/run split sums to (approximately) the recorded wall;
+* schema is ``bench-core/4`` and the reference throughput is nonzero;
+* every experiment ran jobs and fired events, the per-experiment
+  setup/run split sums to (approximately) the recorded wall, and both
+  throughput figures (``events_per_sec``, ``parallel_events_per_sec``)
+  are nonzero;
+* **throughput-delta gate**: per experiment, the runner-path throughput
+  must stay within ``THROUGHPUT_RATIO_FLOOR`` of the serial-path
+  throughput — the runner amortizing setup must never *halve* raw
+  simulation throughput (that is the oversubscription pathology the
+  auto-mode fallback exists to prevent).  Experiments shorter than
+  ``MIN_GATED_RUN_S`` are exempt: at that scale one scheduler
+  deschedule outweighs the entire measurement;
 * **parallel gate**: ``parallel_speedup >= 1.0`` — the sweep set must
   not be slower through the runner than through the cold serial loop.
   Runners are noisy, so CI calls this once and, on gate failure alone,
   regenerates the artifact and retries once (see ``ci.yml``);
+* **sharded gates**: ``fingerprint_match`` (reference and every K agree
+  on the canonical trace fingerprint) and ``bit_identical`` (K=1
+  sharded exactly reproduces the reference engine's dispatch stream)
+  must both hold.  The *speedup* gate (``speedup_k4 >=``
+  ``SHARDED_SPEEDUP_FLOOR``) applies only when the artifact was made on
+  a ≥ 4-core host with the ``processes`` backend; a single-core
+  artifact honestly reporting ``mode: serial-fallback`` passes the
+  determinism gates alone;
 * **warm gate**: ``warm_start.values_equal`` must be true — results
   from depot-restored warm bases must be bit-identical to cold rebuilds
   (the correctness half of the warm-start contract).  ``warm_speedup``
@@ -38,13 +55,28 @@ SPLIT_TOLERANCE_S = 0.05
 #: order-of-magnitude collapse means the depot or codec regressed.
 WARM_SPEEDUP_FLOOR = 0.1
 
+#: Per-experiment runner-path throughput must be at least this fraction
+#: of the serial-path throughput.
+THROUGHPUT_RATIO_FLOOR = 0.5
+
+#: The ratio gate only applies to experiments whose serial run wall is
+#: at least this long — below it, scheduler jitter on a loaded runner
+#: swamps the signal (a 14 ms sweep can "regress" 5x by being
+#: descheduled once).
+MIN_GATED_RUN_S = 0.2
+
+#: Required K=4 sharded speedup over the reference engine — enforced
+#: only for artifacts produced on a >= 4-core host with the processes
+#: backend (ISSUE acceptance: > 1.5x at K=4 on a multi-core runner).
+SHARDED_SPEEDUP_FLOOR = 1.5
+
 
 def check(path: Path) -> int:
     bench = json.loads(path.read_text())
     problems = []
 
-    if bench.get("schema") != "bench-core/3":
-        problems.append(f"schema {bench.get('schema')!r} != 'bench-core/3'")
+    if bench.get("schema") != "bench-core/4":
+        problems.append(f"schema {bench.get('schema')!r} != 'bench-core/4'")
     if bench.get("reference", {}).get("events_per_sec", 0) <= 0:
         problems.append("reference events/sec must be nonzero")
 
@@ -52,6 +84,9 @@ def check(path: Path) -> int:
     for key in ("total_serial_wall_s", "total_parallel_wall_s"):
         if sweeps.get(key, 0) <= 0:
             problems.append(f"sweeps.{key} must be positive")
+    if not sweeps.get("parallel_reason"):
+        problems.append("sweeps.parallel_reason missing: the artifact must "
+                        "record why its execution mode was chosen")
     for name, exp in sweeps.get("experiments", {}).items():
         if exp.get("jobs", 0) <= 0:
             problems.append(f"{name}: no jobs")
@@ -63,6 +98,22 @@ def check(path: Path) -> int:
                 f"{name}: setup+run split {split:.3f}s does not sum to "
                 f"serial wall {exp.get('serial_wall_s', 0.0):.3f}s"
             )
+        eps = exp.get("events_per_sec", 0.0)
+        parallel_eps = exp.get("parallel_events_per_sec", 0.0)
+        if eps <= 0:
+            problems.append(f"{name}: events_per_sec must be nonzero")
+        if parallel_eps <= 0:
+            problems.append(f"{name}: parallel_events_per_sec must be nonzero")
+        if (
+            exp.get("run_wall_s", 0.0) >= MIN_GATED_RUN_S
+            and eps > 0
+            and parallel_eps < THROUGHPUT_RATIO_FLOOR * eps
+        ):
+            problems.append(
+                f"throughput gate: {name} runner-path {parallel_eps:,.0f} "
+                f"events/sec fell below {THROUGHPUT_RATIO_FLOOR:.0%} of the "
+                f"serial-path {eps:,.0f} events/sec"
+            )
 
     speedup = sweeps.get("parallel_speedup", 0.0)
     if speedup < 1.0:
@@ -72,6 +123,35 @@ def check(path: Path) -> int:
             f"{sweeps.get('total_parallel_wall_s', 0):.2f}s parallel, "
             f"mode={sweeps.get('parallel_mode')})"
         )
+
+    sharded = bench.get("sharded", {})
+    if not sharded:
+        problems.append("sharded section missing")
+    else:
+        if sharded.get("fingerprint_match") is not True:
+            problems.append(
+                "sharded gate: canonical fingerprints diverge across K "
+                "(determinism regression)"
+            )
+        if sharded.get("bit_identical") is not True:
+            problems.append(
+                "sharded gate: K=1 sharded run is not bit-identical to the "
+                "reference engine"
+            )
+        for k in ("1", "2", "4"):
+            if sharded.get("shards", {}).get(k, {}).get("events", 0) <= 0:
+                problems.append(f"sharded: K={k} run fired no events")
+        if (
+            sharded.get("mode") == "processes"
+            and sharded.get("cpu_count", 0) >= 4
+            and sharded.get("speedup_k4", 0.0) < SHARDED_SPEEDUP_FLOOR
+        ):
+            problems.append(
+                f"sharded gate: K=4 speedup "
+                f"{sharded.get('speedup_k4', 0.0):.2f}x < "
+                f"{SHARDED_SPEEDUP_FLOOR}x on a "
+                f"{sharded.get('cpu_count')}-core host"
+            )
 
     warm = bench.get("warm_start", {})
     if warm.get("jobs", 0) <= 0:
@@ -98,6 +178,8 @@ def check(path: Path) -> int:
     print(
         f"bench-core ok: {bench['reference']['events_per_sec']:,.0f} events/sec, "
         f"parallel speedup {speedup:.2f}x (mode={sweeps.get('parallel_mode')}), "
+        f"sharded K=4 {sharded.get('speedup_k4', 0.0):.2f}x "
+        f"(mode={sharded.get('mode')}, deterministic), "
         f"warm-start {warm_speedup:.2f}x (values_equal)"
     )
     return 0

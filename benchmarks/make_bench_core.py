@@ -8,6 +8,16 @@ Measures:
 * ``sweeps``: wall-clock of the E1+E2+E8 sweep sets (plus the scale
   probes) run serially and with ``--workers`` processes through
   :class:`repro.analysis.SweepRunner`;
+* ``sharded``: the region-sharded conservative PDES core
+  (:mod:`repro.sim.sharded`) on a concurrent-find walk workload —
+  reference single-loop engine vs ``K ∈ {1, 2, 4}`` shards.  On a
+  multi-core host the K>1 runs use the ``processes`` backend and the
+  section carries a real speedup; on a single-core host they run on the
+  ``serial`` backend and the section says so (``mode`` =
+  ``serial-fallback``) rather than reporting a fork-thrash number.
+  Either way the determinism gates apply: all canonical fingerprints
+  must match, and the K=1 sharded run must be bit-identical to the
+  reference engine;
 * ``warm_start``: steady-state wall-clock of the warm-plannable sweep
   set (E2 + E8) with ``SweepRunner(warm_start=True)`` restoring settled
   pre-measurement worlds from the :mod:`repro.ckpt.depot`, against the
@@ -125,6 +135,7 @@ def measure_sweeps(jobs_by_experiment: dict, workers: int) -> dict:
     out: dict = {
         "workers": workers,
         "parallel_mode": runner.last_mode,
+        "parallel_reason": runner.last_mode_reason,
         "experiments": {},
     }
     for name in jobs_by_experiment:
@@ -135,15 +146,22 @@ def measure_sweeps(jobs_by_experiment: dict, workers: int) -> dict:
             )
             if job_name == name
         ]
+        events = sum(serial.events for serial, _ in picked)
+        run_wall = sum(serial.run_seconds for serial, _ in picked)
+        parallel_run = sum(par.run_seconds for _, par in picked)
         out["experiments"][name] = {
             "jobs": len(picked),
-            "events": sum(serial.events for serial, _ in picked),
+            "events": events,
             "serial_wall_s": sum(serial.wall_seconds for serial, _ in picked),
             "setup_wall_s": sum(serial.setup_seconds for serial, _ in picked),
-            "run_wall_s": sum(serial.run_seconds for serial, _ in picked),
+            "run_wall_s": run_wall,
+            "events_per_sec": events / run_wall if run_wall > 0 else 0.0,
             "parallel_cpu_s": sum(par.wall_seconds for _, par in picked),
             "parallel_setup_s": sum(par.setup_seconds for _, par in picked),
-            "parallel_run_s": sum(par.run_seconds for _, par in picked),
+            "parallel_run_s": parallel_run,
+            "parallel_events_per_sec": (
+                events / parallel_run if parallel_run > 0 else 0.0
+            ),
         }
     out["total_serial_wall_s"] = total_serial
     out["total_parallel_wall_s"] = total_parallel
@@ -202,6 +220,82 @@ def measure_warm_start(quick: bool) -> dict:
     }
 
 
+def measure_sharded(quick: bool) -> dict:
+    """The sharded PDES core against the reference single-loop engine.
+
+    The workload is a concurrent-find storm (many finds in flight per
+    dwell window) — the regime with enough per-window work for sharding
+    to overlap.  K>1 runs use the ``processes`` backend only when the
+    host has ≥ 2 cores; otherwise they run on the ``serial`` backend and
+    the section reports ``mode: serial-fallback`` honestly instead of a
+    fork-thrash "speedup".  Determinism is measured either way: the
+    reference exact fingerprint must equal the K=1 sharded one
+    (``bit_identical``), and all canonical fingerprints must agree
+    (``fingerprint_match``).
+    """
+    from repro.sim.sharded import run_reference_walk, run_sharded_walk
+
+    params = dict(r=2, max_level=3, seed=11, delta=1.0, e=0.5, dwell=40.0)
+    if quick:
+        params.update(n_moves=8, n_finds=8)
+    else:
+        params.update(max_level=4, n_moves=24, n_finds=96)
+
+    cores = os.cpu_count() or 1
+    backend = "processes" if cores >= 2 else "serial"
+    mode = "processes" if cores >= 2 else "serial-fallback"
+
+    reference = run_reference_walk(**params)
+    runs = {}
+    fingerprints = set()
+    k1_exact = None
+    for k in (1, 2, 4):
+        result = run_sharded_walk(
+            shards=k, backend=backend if k > 1 else "serial", **params
+        )
+        fingerprints.add(result.canonical_fingerprint)
+        if k == 1:
+            k1_exact = result.exact_fingerprint
+        runs[str(k)] = {
+            "backend": result.backend,
+            "events": result.events,
+            "windows": result.windows,
+            "cross_shard_messages": result.cross_shard_messages,
+            "wall_s": result.wall_s,
+            "events_per_sec": (
+                result.events / result.wall_s if result.wall_s > 0 else 0.0
+            ),
+            "barrier_wait_s": result.barrier_wait_s,
+            "canonical_fingerprint": result.canonical_fingerprint,
+            "speedup_vs_reference": (
+                reference.wall_s / result.wall_s if result.wall_s > 0 else 0.0
+            ),
+        }
+    fingerprints.add(reference.canonical_fingerprint)
+    return {
+        "mode": mode,
+        "cpu_count": cores,
+        "workload": params,
+        "reference": {
+            "events": reference.events,
+            "wall_s": reference.wall_s,
+            "events_per_sec": (
+                reference.events / reference.wall_s
+                if reference.wall_s > 0
+                else 0.0
+            ),
+            "canonical_fingerprint": reference.canonical_fingerprint,
+            "exact_fingerprint": reference.exact_fingerprint,
+        },
+        "shards": runs,
+        "fingerprint_match": len(fingerprints) == 1,
+        "bit_identical": (
+            k1_exact is not None and k1_exact == reference.exact_fingerprint
+        ),
+        "speedup_k4": runs["4"]["speedup_vs_reference"],
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="CI smoke mode")
@@ -212,15 +306,17 @@ def main(argv=None) -> int:
     repetitions = 3 if args.quick else 7
     reference = measure_reference(repetitions)
     sweeps = measure_sweeps(sweep_jobs(args.quick), args.workers)
+    sharded = measure_sharded(args.quick)
     warm = measure_warm_start(args.quick)
     from repro.topo import topology_cache
 
     payload = {
-        "schema": "bench-core/3",
+        "schema": "bench-core/4",
         "quick": args.quick,
         "cpu_count": os.cpu_count(),
         "reference": reference,
         "sweeps": sweeps,
+        "sharded": sharded,
         "warm_start": warm,
         "topology_cache": topology_cache().stats.as_dict(),
         "events_fired_total": engine.events_fired_total(),
@@ -232,6 +328,12 @@ def main(argv=None) -> int:
         f"({sweeps['total_serial_wall_s']:.2f}s serial -> "
         f"{sweeps['total_parallel_wall_s']:.2f}s with {sweeps['workers']} "
         f"workers, mode={sweeps['parallel_mode']})"
+    )
+    print(
+        f"sharded: mode={sharded['mode']}, "
+        f"K=4 speedup {sharded['speedup_k4']:.2f}x vs reference, "
+        f"fingerprint_match={sharded['fingerprint_match']}, "
+        f"bit_identical={sharded['bit_identical']}"
     )
     print(
         f"warm-start speedup: {warm['warm_speedup']:.2f}x "

@@ -60,6 +60,8 @@ RUNNERS: Dict[str, str] = {
     "equivalence_check": "repro.analysis.experiments:run_equivalence_check",
     "scale_probe": "repro.analysis.experiments:run_scale_probe",
     "chaos": "repro.analysis.recovery:run_chaos",
+    "sharded_walk": "repro.sim.sharded.runner:run_sharded_walk",
+    "reference_walk": "repro.sim.sharded.runner:run_reference_walk",
 }
 
 
@@ -313,9 +315,17 @@ class SweepRunner:
     tables are deterministic; serial and parallel values are identical
     because every runner derives its world from its explicit seed.
 
+    Setting ``REPRO_PARALLEL`` to ``auto`` or an integer ``>= 2`` is a
+    *force*: auto mode skips both serial fallbacks (steps 3-4) and goes
+    straight to the pool — the operator has asserted the box can take
+    it, so the probe would only second-guess them.
+
     After :meth:`run`, :attr:`last_mode` records what actually happened:
     ``"serial"``, ``"processes"`` or ``"serial-fallback"`` (auto mode
-    declined to fork).
+    declined to fork); :attr:`last_mode_reason` records why, in one
+    sentence (probe extrapolation numbers, the kill-switch, the forcing
+    env value, ...) — benchmarks persist it next to the sweep numbers so
+    an artifact reviewed later explains its own execution mode.
     """
 
     def __init__(
@@ -332,6 +342,7 @@ class SweepRunner:
         self.mode = mode
         self.warm_start = bool(warm_start)
         self.last_mode: Optional[str] = None
+        self.last_mode_reason: Optional[str] = None
 
     def _chunksize_for(self, n_jobs: int, workers: int) -> int:
         if self.chunksize is not None:
@@ -347,25 +358,56 @@ class SweepRunner:
             jobs = self._prepare_warm(jobs)
         workers = min(self.workers, len(jobs))
         mode = self.mode
-        if os.environ.get("REPRO_PARALLEL", "").strip() == "0":
+        env = os.environ.get("REPRO_PARALLEL", "").strip()
+        if env == "0":
             mode = "serial"  # kill-switch beats an explicit workers=
         if mode == "serial" or workers <= 1 or len(jobs) <= 1:
             self.last_mode = "serial"
+            if env == "0":
+                self.last_mode_reason = "REPRO_PARALLEL=0 kill-switch"
+            elif self.mode == "serial":
+                self.last_mode_reason = "mode='serial' requested"
+            elif len(jobs) <= 1:
+                self.last_mode_reason = f"{len(jobs)} job(s): nothing to overlap"
+            else:
+                self.last_mode_reason = f"workers={workers} <= 1"
             return [_execute(spec) for spec in jobs]
         if mode == "parallel":
             self.last_mode = "processes"
+            self.last_mode_reason = "mode='parallel' requested"
             return self._run_pool(jobs, workers)
 
         # mode == "auto"
-        if (os.cpu_count() or 1) < 2:
+        if env not in ("", "0", "1"):
+            # The operator explicitly asked for parallelism: honor it,
+            # bypassing the cpu-count and probe fallbacks below.
+            self.last_mode = "processes"
+            self.last_mode_reason = (
+                f"REPRO_PARALLEL={env} forces the pool "
+                "(cpu-count and probe fallbacks bypassed)"
+            )
+            return self._run_pool(jobs, workers)
+        cores = os.cpu_count() or 1
+        if cores < 2:
             self.last_mode = "serial-fallback"
+            self.last_mode_reason = (
+                f"cpu_count={cores} < 2: forking would only oversubscribe"
+            )
             return [_execute(spec) for spec in jobs]
         probe = _execute(jobs[0])
         rest = jobs[1:]
         if probe.wall_seconds * len(rest) < FORK_OVERHEAD_S * workers:
             self.last_mode = "serial-fallback"
+            self.last_mode_reason = (
+                f"probe extrapolation {probe.wall_seconds:.3f}s x {len(rest)} "
+                f"jobs < fork overhead {FORK_OVERHEAD_S}s x {workers} workers"
+            )
             return [probe] + [_execute(spec) for spec in rest]
         self.last_mode = "processes"
+        self.last_mode_reason = (
+            f"probe extrapolation {probe.wall_seconds:.3f}s x {len(rest)} "
+            f"jobs clears fork overhead {FORK_OVERHEAD_S}s x {workers} workers"
+        )
         return [probe] + self._run_pool(rest, min(workers, len(rest)))
 
     def _prepare_warm(self, jobs: List[JobSpec]) -> List[JobSpec]:

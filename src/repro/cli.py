@@ -12,7 +12,11 @@ Commands:
 * ``resume``   — restore a checkpoint and run its continuation to the end
   (bit-identical to the uninterrupted run);
 * ``bisect``   — replay two run variants in lockstep and report the first
-  diverging event.
+  diverging event;
+* ``sharded``  — run the region-sharded PDES core on a scripted walk,
+  compare its trace fingerprint at K shards against the single-loop
+  reference engine, and report the determinism verdict (CI's
+  smoke-sharded job runs this with ``--json``).
 
 The world-shape flags (``--r``, ``--max-level``, ``--seed``) are shared
 by every world-building command via a common parent parser; each command
@@ -134,6 +138,25 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="events per lockstep window (default 256)")
     bisect.add_argument("--json", action="store_true",
                         help="emit the divergence report as JSON")
+
+    sharded = sub.add_parser(
+        "sharded", parents=[common],
+        help="sharded PDES run vs single-loop reference (determinism check)",
+    )
+    sharded.set_defaults(r=2, max_level=3, seed=11)
+    sharded.add_argument("--shards", type=int, default=2,
+                         help="region shard count K (default 2)")
+    sharded.add_argument("--backend", choices=("serial", "processes"),
+                         default="serial",
+                         help="shard execution backend (default serial)")
+    sharded.add_argument("--moves", type=int, default=8)
+    sharded.add_argument("--finds", type=int, default=4)
+    sharded.add_argument("--loss", type=float, default=0.0,
+                         help="arm a message-loss rule at this rate")
+    sharded.add_argument("--jitter", type=float, default=0.0,
+                         help="arm a message-jitter rule at this rate")
+    sharded.add_argument("--json", action="store_true",
+                         help="emit the comparison as one JSON object")
     return parser
 
 
@@ -400,6 +423,69 @@ def cmd_bisect(args) -> int:
     return 0
 
 
+def cmd_sharded(args) -> int:
+    from .sim.sharded import run_reference_walk, run_sharded_walk
+
+    kwargs = dict(
+        r=args.r,
+        max_level=args.max_level,
+        seed=args.seed,
+        n_moves=args.moves,
+        n_finds=args.finds,
+        loss_rate=args.loss,
+        jitter_rate=args.jitter,
+    )
+    reference = run_reference_walk(**kwargs)
+    sharded = run_sharded_walk(
+        shards=args.shards, backend=args.backend, **kwargs
+    )
+    match = sharded.canonical_fingerprint == reference.canonical_fingerprint
+    bit_identical = (
+        sharded.exact_fingerprint is not None
+        and sharded.exact_fingerprint == reference.exact_fingerprint
+    )
+    if args.json:
+        print(json.dumps({
+            "shards": sharded.shards,
+            "backend": sharded.backend,
+            "events": sharded.events,
+            "windows": sharded.windows,
+            "cross_shard_messages": sharded.cross_shard_messages,
+            "messages_sent": sharded.messages_sent,
+            "finds_issued": sharded.finds_issued,
+            "finds_completed": sharded.finds_completed,
+            "canonical_fingerprint": sharded.canonical_fingerprint,
+            "reference_fingerprint": reference.canonical_fingerprint,
+            "fingerprint_match": match,
+            "bit_identical": bit_identical,
+            "wall_s": sharded.wall_s,
+            "barrier_wait_s": sharded.barrier_wait_s,
+            "fault_events": sharded.fault_events,
+        }))
+        return 0 if match else 1
+    print(
+        f"sharded: K={sharded.shards} backend={sharded.backend} "
+        f"r={args.r} MAX={args.max_level} seed={args.seed} "
+        f"moves={args.moves} finds={args.finds}"
+    )
+    print(
+        f"events: {sharded.events} over {sharded.windows} windows, "
+        f"{sharded.cross_shard_messages} cross-shard messages, "
+        f"finds {sharded.finds_completed}/{sharded.finds_issued} completed"
+    )
+    print(
+        f"fingerprint: {sharded.canonical_fingerprint} "
+        f"(reference {reference.canonical_fingerprint}) -> "
+        f"{'MATCH' if match else 'DIVERGED'}"
+        + (", bit-identical at K=1" if bit_identical else "")
+    )
+    print(
+        f"wall {sharded.wall_s:.3f}s (reference {reference.wall_s:.3f}s), "
+        f"barrier wait {sharded.barrier_wait_s:.3f}s"
+    )
+    return 0 if match else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -411,6 +497,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "snapshot": cmd_snapshot,
         "resume": cmd_resume,
         "bisect": cmd_bisect,
+        "sharded": cmd_sharded,
     }
     return handlers[args.command](args)
 

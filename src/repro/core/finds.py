@@ -52,11 +52,24 @@ class FindCoordinator:
         self.records: Dict[int, FindRecord] = {}
 
     def new_find(
-        self, origin: RegionId, evader_region: Optional[RegionId] = None
+        self,
+        origin: RegionId,
+        evader_region: Optional[RegionId] = None,
+        find_id: Optional[int] = None,
     ) -> int:
-        """Allocate a find id for a query issued at ``origin``."""
-        find_id = self._next_id
-        self._next_id += 1
+        """Allocate a find id for a query issued at ``origin``.
+
+        A pre-assigned ``find_id`` (sharded workloads use globally
+        unique script-order ids) bypasses local allocation; the local
+        counter skips past it so the two schemes never collide.
+        """
+        if find_id is None:
+            find_id = self._next_id
+            self._next_id += 1
+        else:
+            if find_id in self.records:
+                raise ValueError(f"find id {find_id} already in use")
+            self._next_id = max(self._next_id, find_id + 1)
         self.records[find_id] = FindRecord(
             find_id=find_id,
             origin=origin,

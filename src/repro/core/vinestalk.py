@@ -52,6 +52,9 @@ class VineStalk:
     tracker_cls = Tracker
     #: C-gcast implementation; the emulated system may use PhysicalCGcast.
     cgcast_cls = None
+    #: Class-level fallback so checkpoints pickled before the sharding
+    #: hooks existed unpickle into a working (unhooked) deployment.
+    client_filter = None
 
     def __init__(
         self,
@@ -119,6 +122,11 @@ class VineStalk:
         #: -> extra delay``.  When None or 0.0, augmented-GPS delivery
         #: stays synchronous (the §IV-C atomic-move model).
         self.gps_fault_delay = None
+        #: Optional region-ownership predicate (repro.sim.sharded).
+        #: When set, augmented-GPS move/left inputs reach only clients
+        #: of owned regions — the evader replica moves in every shard,
+        #: but each region's client reacts in exactly one shard.
+        self.client_filter = None
 
     # ------------------------------------------------------------------
     # Wiring helpers
@@ -175,6 +183,8 @@ class VineStalk:
         self._deliver_evader_event(event, region)
 
     def _deliver_evader_event(self, event: str, region: RegionId) -> None:
+        if self.client_filter is not None and not self.client_filter(region):
+            return
         client = self.clients.get(region)
         if client is not None and not client.failed:
             client.handle_input(Action.input(event, region=region))
@@ -188,6 +198,7 @@ class VineStalk:
         origin: RegionId,
         retry_after: Optional[float] = None,
         max_retries: int = 3,
+        find_id: Optional[int] = None,
     ) -> int:
         """Inject a find request at ``origin``'s client; returns the find id.
 
@@ -198,10 +209,13 @@ class VineStalk:
                 ``max_retries`` re-issues have fired.  Useful under VSA
                 churn, where a find can die with a failed process.
             max_retries: Cap on re-issues when ``retry_after`` is set.
+            find_id: Pre-assigned global id (sharded workloads assign
+                ids in script order so shards never collide); defaults
+                to the coordinator's own allocation.
         """
         client = self.clients[origin]
         evader_region = self.evader.region if self.evader is not None else None
-        find_id = self.finds.new_find(origin, evader_region)
+        find_id = self.finds.new_find(origin, evader_region, find_id=find_id)
         self.network.executor.deliver(
             client, Action.input("find", find_id=find_id)
         )

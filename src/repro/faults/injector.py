@@ -24,6 +24,8 @@ bit for bit, which the golden tests enforce.
 
 from __future__ import annotations
 
+import random
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -77,6 +79,7 @@ class _ArmedRule:
 
     rule: object
     rng: object = field(repr=False, default=None)
+    index: int = 0
 
 
 class FaultInjector:
@@ -87,14 +90,35 @@ class FaultInjector:
         plan: The fault plan to realise.
         seed: Root seed of the injector's RNG streams.  Pass the
             scenario seed so "same seed + same plan" pins the whole run.
+        stable_draws: Message-rule perturbations (loss / duplication /
+            jitter) draw from a per-message stream keyed on ``(seed,
+            rule, channel, time, src, dest, payload type, occurrence)``
+            instead of the rule's sequential stream.  The draw for a
+            given message then no longer depends on how many other
+            messages the filter saw first — which is what the sharded
+            PDES core needs, since each shard's filter sees only its
+            own dispatches.  Crash / blackout / GPS rules keep their
+            sequential streams: their draws happen on events that fire
+            identically in every shard replica.
     """
 
-    def __init__(self, system, plan: FaultPlan, seed: int = 0) -> None:
+    def __init__(
+        self,
+        system,
+        plan: FaultPlan,
+        seed: int = 0,
+        stable_draws: bool = False,
+    ) -> None:
         self.system = system
         self.plan = plan
         self.sim = system.sim
         self.streams = RngRegistry(seed)
         self.stats = FaultStats()
+        self.stable_draws = stable_draws
+        self._root_seed = seed
+        # Per-message-key occurrence counters (stable-draws mode), so
+        # identical back-to-back messages still get independent draws.
+        self._edge_counts: Dict[str, int] = {}
         self._armed = False
         # Regions currently held down by this injector (so overlapping
         # crash/blackout rules never double-fail or double-restore).
@@ -102,7 +126,9 @@ class FaultInjector:
         self._armed_rules: List[_ArmedRule] = []
         for index, rule in enumerate(plan.rules):
             name = f"fault.{index}.{type(rule).__name__}"
-            self._armed_rules.append(_ArmedRule(rule, self.streams.stream(name)))
+            self._armed_rules.append(
+                _ArmedRule(rule, self.streams.stream(name), index)
+            )
 
     # ------------------------------------------------------------------
     # Arming
@@ -149,7 +175,16 @@ class FaultInjector:
         horizon = self.plan.horizon
         return horizon is None or self.sim.now < horizon
 
-    def _perturb(self, channel: str, delay: float) -> Optional[List[float]]:
+    def _stable_rng(self, rule_index: int, message_key: str, occurrence: int):
+        """A fresh RNG for one (rule, message) pair in stable-draws mode."""
+        material = f"{self._root_seed}|{rule_index}|{message_key}|{occurrence}"
+        return random.Random(
+            zlib.crc32(material.encode()) ^ (self._root_seed << 32)
+        )
+
+    def _perturb(
+        self, channel: str, delay: float, message_key: Optional[str] = None
+    ) -> Optional[List[float]]:
         """Apply the channel rules in plan order to one message.
 
         Returns the per-copy delivery delays (empty = dropped), or
@@ -157,6 +192,10 @@ class FaultInjector:
         """
         if not self._within_horizon():
             return None
+        stable = self.stable_draws and message_key is not None
+        if stable:
+            occurrence = self._edge_counts.get(message_key, 0)
+            self._edge_counts[message_key] = occurrence + 1
         delays = [delay]
         touched = False
         stats0 = (self.stats.messages_dropped, self.stats.messages_duplicated,
@@ -165,7 +204,10 @@ class FaultInjector:
             rule = armed.rule
             if rule.is_null() or not rule.applies_to(channel):
                 continue
-            rng = armed.rng
+            if stable:
+                rng = self._stable_rng(armed.index, message_key, occurrence)
+            else:
+                rng = armed.rng
             if isinstance(rule, MessageLoss):
                 kept = [d for d in delays if rng.random() >= rule.rate]
                 if len(kept) != len(delays):
@@ -209,10 +251,21 @@ class FaultInjector:
         return delays if touched else None
 
     def _cgcast_filter(self, src, dest, payload, delay) -> Optional[List[float]]:
-        return self._perturb(CHANNEL_CGCAST, delay)
+        key = None
+        if self.stable_draws:
+            key = (
+                f"cg|{self.sim.now!r}|{src!r}|{dest!r}|{type(payload).__name__}"
+            )
+        return self._perturb(CHANNEL_CGCAST, delay, key)
 
     def _vbcast_filter(self, source_region, message, delay, from_vsa):
-        return self._perturb(CHANNEL_VBCAST, delay)
+        key = None
+        if self.stable_draws:
+            key = (
+                f"vb|{self.sim.now!r}|{source_region!r}|"
+                f"{type(message).__name__}|{from_vsa}"
+            )
+        return self._perturb(CHANNEL_VBCAST, delay, key)
 
     # ------------------------------------------------------------------
     # GPS staleness

@@ -66,6 +66,13 @@ SendObserver = Callable[[SendRecord], None]
 # (empty list = message dropped), or None to deliver exactly as normal.
 FaultFilter = Callable[[Any, Any, Any, float], Optional[List[float]]]
 
+# Shard routing hook (see repro.sim.sharded): called once per delivery
+# copy with (src, dest, dest_region, payload, deliver_time).  Returning
+# True claims the copy for cross-shard transport — the dispatcher then
+# skips local scheduling; the sharded driver re-injects it in the
+# destination shard via :meth:`CGcast.apply_remote`.
+ShardRouter = Callable[[Any, Any, RegionId, Any, float], bool]
+
 
 class CGcast:
     """Cluster geocast over a hierarchy, with the exact §II-C.3 delays.
@@ -79,6 +86,10 @@ class CGcast:
     Cluster processes register with :meth:`register_process`; client
     receivers register per region with :meth:`register_client_sink`.
     """
+
+    #: Class-level fallback so checkpoints pickled before the sharding
+    #: hooks existed unpickle into a working (unhooked) instance.
+    shard_router: Optional[ShardRouter] = None
 
     def __init__(
         self,
@@ -100,6 +111,9 @@ class CGcast:
         #: Optional fault-injection interposition point (repro.faults).
         #: When None (the default) dispatch is exactly the §II-C.3 path.
         self.fault_filter: Optional[FaultFilter] = None
+        #: Optional cross-shard routing point (repro.sim.sharded).  When
+        #: None (the default) every copy is scheduled locally.
+        self.shard_router: Optional[ShardRouter] = None
         self.messages_sent = 0
         self.total_cost = 0.0
         # Messages currently in transit: list of (src, dest, payload, deliver_time).
@@ -258,7 +272,13 @@ class CGcast:
                 delay=delay,
                 copies=len(delays),
             ))
+        router = self.shard_router
+        dest_region = self.dest_region_of(dest) if router is not None else None
         for copy_delay in delays:
+            if router is not None and router(
+                src, dest, dest_region, payload, self.sim.now + copy_delay
+            ):
+                continue  # claimed for cross-shard transport
             entry = [src, dest, payload, self.sim.now + copy_delay]
             self._in_transit.append(entry)
 
@@ -269,6 +289,35 @@ class CGcast:
             self.sim.call_after(copy_delay, fire, tag="cgcast")
         if spanning:
             _OBS.collector.charge("geocast", perf_counter() - t0)
+
+    def dest_region_of(self, dest: Any) -> RegionId:
+        """Region that hosts ``dest`` — where delivery physically lands.
+
+        A cluster process lives at its head VSA's region; a
+        ``("clients", region)`` broadcast lands in that region.  This is
+        the key the sharded driver partitions on.
+        """
+        if isinstance(dest, ClusterId):
+            return self.hierarchy.head(dest)
+        if isinstance(dest, tuple) and len(dest) == 2 and dest[0] == "clients":
+            return dest[1]
+        raise ValueError(f"cannot locate destination {dest!r}")
+
+    def apply_remote(self, src: Any, dest: Any, payload: Any) -> None:
+        """Deliver a message routed in from another shard.
+
+        The sending shard already did the dispatch accounting (count,
+        cost, observers, fault filter); this applies only the terminal
+        delivery, at the current simulation time.
+        """
+        if isinstance(dest, tuple) and len(dest) == 2 and dest[0] == "clients":
+            for sink in self._client_sinks.get(dest[1], []):
+                sink(payload)
+            return
+        target = self._processes.get(dest)
+        if target is None:
+            return
+        self._deliver_vsa(target, payload, src if isinstance(src, ClusterId) else None)
 
     def _faulted_delays(
         self, src: Any, dest: Any, payload: Any, delay: float

@@ -4,7 +4,7 @@ The layer has four legs (DESIGN.md §6):
 
 * **spans** (:mod:`repro.obs.spans`) — context-managed timed regions
   whose self time is charged to named phases (``build``, ``events``,
-  ``geocast``, ``lookahead``);
+  ``geocast``, ``lookahead``, ``barrier``);
 * **typed events** (:mod:`repro.obs.events`) — schema-versioned
   dataclass records emitted by the hot paths next to (never instead of)
   the legacy trace strings;

@@ -10,7 +10,11 @@ work.  The canonical phases:
 * ``events``    — the simulator event loop (:meth:`Simulator._loop`),
   excluding the geocast/lookahead time spent inside event handlers;
 * ``geocast``   — C-gcast dispatch (:meth:`CGcast._dispatch`);
-* ``lookahead`` — Fig. 3 ``lookAhead`` projections.
+* ``lookahead`` — Fig. 3 ``lookAhead`` projections;
+* ``barrier``   — sharded-PDES driver self time: δ-barrier exchange and
+  wait, i.e. everything in :meth:`ShardedSimulator.run` *outside* the
+  shard event loops (whose windows charge ``events`` as child spans, so
+  barrier overhead never inflates the event-loop phase).
 
 Two entry points:
 

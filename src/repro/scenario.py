@@ -77,6 +77,16 @@ class ScenarioConfig:
             world.  Every other field must either match the snapshot's
             own config or be left at its default — a checkpoint cannot
             be rebuilt under different knobs.
+        shards: Number of region shards for the conservative PDES core
+            (:mod:`repro.sim.sharded`).  ``1`` (the default) is the
+            plain single-loop engine; ``build`` itself always
+            constructs one world — the sharded driver builds one
+            per-shard replica from ``config.with_(shards=1)``.
+        stable_fault_draws: Make per-message fault perturbations
+            (loss/duplication/jitter) draw from message-keyed streams
+            instead of the armed rule's sequential stream, so the draw
+            for a given message is independent of global dispatch order
+            — required for cross-K determinism under sharding.
     """
 
     r: int = 3
@@ -95,6 +105,8 @@ class ScenarioConfig:
     schedule: Optional[Any] = None
     fault_plan: Optional[FaultPlan] = None
     resume_from: Optional[Any] = None
+    shards: int = 1
+    stable_fault_draws: bool = False
 
     def __post_init__(self) -> None:
         if isinstance(self.system, str):
@@ -107,6 +119,17 @@ class ScenarioConfig:
             raise TypeError("system must be a registry key or a class")
         if self.fault_plan is not None and not isinstance(self.fault_plan, FaultPlan):
             raise TypeError("fault_plan must be a FaultPlan")
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        # Pickles written before a field existed (e.g. ckpt/1 snapshots
+        # predating ``shards``) carry no value for it; fill defaults so
+        # old checkpoints keep loading and comparing equal.
+        for f in self.__dataclass_fields__.values():
+            if f.name not in state:
+                state[f.name] = f.default
+        object.__setattr__(self, "__dict__", state)
 
     def with_(self, **changes: Any) -> "ScenarioConfig":
         """A copy with ``changes`` applied (``dataclasses.replace``)."""
@@ -329,7 +352,12 @@ def _build_timed(
     if config.fault_plan is not None:
         from .faults.injector import FaultInjector
 
-        injector = FaultInjector(system, config.fault_plan, seed=config.seed).arm()
+        injector = FaultInjector(
+            system,
+            config.fault_plan,
+            seed=config.seed,
+            stable_draws=config.stable_fault_draws,
+        ).arm()
     return Scenario(
         config=config,
         system=system,

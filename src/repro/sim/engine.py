@@ -212,7 +212,35 @@ class Simulator:
             self.now = until
         return fired
 
-    def _loop(self, until: Optional[float], max_events: Optional[int]) -> int:
+    def run_window(self, until: float) -> int:
+        """Run events with ``time < until`` (strictly) and advance to ``until``.
+
+        The bounded window step of the sharded PDES driver: with
+        conservative lookahead δ, a message sent during the window
+        ``[now, until)`` is delivered no earlier than ``until``, so an
+        event at exactly the barrier may be a cross-shard injection and
+        must wait for the exchange.  After the call the clock sits at
+        the barrier, making ``call_at(until, ...)`` legal for injected
+        messages.
+
+        Returns:
+            Number of events fired by this call.
+        """
+        fired = self._loop(until=until, max_events=None, strict=True)
+        if not self._stop_requested and self.now < until:
+            self.now = until
+        return fired
+
+    def next_event_time(self) -> Optional[float]:
+        """Time of the earliest pending event, or ``None`` when drained."""
+        return self._queue.peek_time()
+
+    def _loop(
+        self,
+        until: Optional[float],
+        max_events: Optional[int],
+        strict: bool = False,
+    ) -> int:
         """Fast-lane event loop.
 
         Each iteration does a single fused pop (one cancelled-entry sweep
@@ -241,7 +269,7 @@ class Simulator:
             while True:
                 if max_events is not None and fired >= max_events:
                     break
-                event = pop_next_before(until)
+                event = pop_next_before(until, strict)
                 if event is None:
                     break
                 if event.time < self.now:  # pragma: no cover - defensive

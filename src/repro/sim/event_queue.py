@@ -134,13 +134,17 @@ class EventQueue:
             raise IndexError("pop from empty EventQueue")
         return event
 
-    def pop_next_before(self, until: Optional[float]) -> Optional[Event]:
+    def pop_next_before(self, until: Optional[float], strict: bool = False) -> Optional[Event]:
         """Pop the earliest live event with ``time <= until`` in one sweep.
 
         Cancelled entries at the head are discarded as part of the same
         scan.  Returns ``None`` — leaving the head in place — when the
         queue holds no live event or the earliest one lies beyond
-        ``until`` (``until=None`` means no bound).
+        ``until`` (``until=None`` means no bound).  With ``strict`` the
+        bound is exclusive (``time < until``) — the window form the
+        sharded PDES driver uses, where an event at exactly the barrier
+        belongs to the *next* window (a cross-shard message may still be
+        delivered at exactly barrier time).
         """
         heap = self._heap
         heappop = heapq.heappop
@@ -150,7 +154,7 @@ class EventQueue:
             if event._cancelled:
                 heappop(heap)
                 continue
-            if until is not None and head[0] > until:
+            if until is not None and (head[0] > until or (strict and head[0] >= until)):
                 return None
             heappop(heap)
             event._popped = True

@@ -1,0 +1,274 @@
+"""The conservative time-windowed sharded PDES driver.
+
+:class:`ShardedSimulator` advances K shard replicas through adaptive
+δ-width windows:
+
+1. compute the next barrier ``b = min(next pending event across all
+   shards and in-flight injections) + δ`` — adaptive, so idle stretches
+   are skipped in one hop;
+2. step every shard to ``b`` (events strictly before the barrier);
+3. gather the shards' outboxes of boundary-crossing messages, sort
+   them into the canonical ``(deliver_time, src_shard, seq)`` order,
+   and hand each to its destination shard for injection.
+
+**Safety** (no causality violation): every cgcast/vbcast delay is at
+least δ (the §II-C.3 table bottoms out at the client→cluster rule (e)
+delay δ; fault rules only add delay or drop copies).  An event firing
+at ``s ∈ [min, b)`` therefore cannot produce a cross-shard delivery
+before ``s + δ ≥ min + δ = b`` — i.e. nothing sent inside a window is
+deliverable inside it, so exchanging only at barriers loses nothing.
+The δ-lookahead property test pins this empirically.
+
+**Determinism**: shard replicas are pure functions of ``(config,
+plan, shard_id, workload)``; the exchange order is canonical, fixed by
+sender-side dispatch sequence numbers rather than worker completion
+order — so the N-shard fingerprint is a pure function of the seed,
+independent of scheduling, and identical between the serial and
+process backends.
+
+Backends: ``serial`` steps the shard contexts in-process (the
+reference semantics, and the honest fallback on 1-core boxes);
+``processes`` runs each shard in a forked worker and overlaps their
+window computation — the throughput path benchmarked in
+BENCH_core.json's ``sharded`` section.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Any, Dict, List, Optional
+
+from ...obs import span as obs_span
+from .context import RemoteMessage, ShardContext
+from .plan import ShardPlan, strip_plan
+from .workload import ScriptedWorkload
+
+BACKENDS = ("serial", "processes")
+
+
+class ShardedRunError(RuntimeError):
+    """Raised for driver protocol violations or worker failures."""
+
+
+@dataclass(frozen=True)
+class ShardedRunResult:
+    """Merged outcome of one sharded run (picklable).
+
+    Work totals are exact sums over shards (each dispatch happens in
+    exactly one shard); crash/blackout/GPS fault counters come from
+    shard 0 (those event streams fire identically in every replica),
+    while message-perturbation counters are summed.
+    """
+
+    shards: int
+    backend: str
+    windows: int
+    events: int
+    messages_sent: int
+    total_cost: float
+    move_work: float
+    find_work: float
+    other_work: float
+    moves_observed: int
+    finds_issued: int
+    finds_completed: int
+    cross_shard_messages: int
+    canonical_fingerprint: str
+    exact_fingerprint: Optional[str]
+    now: float
+    wall_s: float
+    busy_s: float
+    barrier_wait_s: float
+    fault_events: Optional[Dict[str, int]]
+    region_counts: tuple
+
+
+def canonical_fingerprint(send_lines: List[str]) -> str:
+    """CRC32 over the sorted canonical send lines, as 8 hex digits."""
+    crc = zlib.crc32("\n".join(sorted(send_lines)).encode())
+    return f"{crc:08x}"
+
+
+class ShardedSimulator:
+    """Drive one scripted scenario across K region shards.
+
+    Args:
+        config: Scenario config; ``config.shards`` fixes K (clamped to
+            the region count by the strip partitioner).
+        workload: The scripted drive (see
+            :mod:`repro.sim.sharded.workload`).
+        backend: ``"serial"`` or ``"processes"``; single-shard plans
+            always run serially.
+        max_windows: Runaway guard on the barrier loop.
+    """
+
+    def __init__(
+        self,
+        config,
+        workload: ScriptedWorkload,
+        backend: str = "serial",
+        max_windows: int = 2_000_000,
+    ) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(f"backend must be one of {BACKENDS}")
+        if config.shards > 1 and config.delta <= 0:
+            raise ValueError("sharded execution requires delta > 0 lookahead")
+        self.config = config
+        self.workload = workload
+        self.plan: ShardPlan = strip_plan(_tiling_for(config), config.shards)
+        self.backend = backend if self.plan.k > 1 else "serial"
+        self.max_windows = max_windows
+
+    def run(self) -> ShardedRunResult:
+        """Run the workload to quiescence and merge the shard reports."""
+        k = self.plan.k
+        delta = self.config.delta
+        wall0 = perf_counter()
+        cross = 0
+        windows = 0
+        transport = self._make_transport()
+        try:
+            with obs_span("sharded.run", phase="barrier"):
+                next_times = transport.start()
+                inboxes: List[List[RemoteMessage]] = [[] for _ in range(k)]
+                while True:
+                    candidates = [t for t in next_times if t is not None]
+                    candidates.extend(
+                        m.deliver_time for box in inboxes for m in box
+                    )
+                    if not candidates:
+                        break
+                    if windows >= self.max_windows:
+                        raise ShardedRunError(
+                            f"exceeded max_windows={self.max_windows}"
+                        )
+                    barrier = min(candidates) + delta
+                    outboxes, next_times = transport.step_all(barrier, inboxes)
+                    windows += 1
+                    exchanged = [m for box in outboxes for m in box]
+                    exchanged.sort(key=RemoteMessage.sort_key)
+                    cross += len(exchanged)
+                    inboxes = [[] for _ in range(k)]
+                    for message in exchanged:
+                        inboxes[message.dest_shard].append(message)
+                reports = transport.finish()
+        finally:
+            transport.close()
+        wall = perf_counter() - wall0
+        return self._merge(reports, windows, cross, wall)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _make_transport(self):
+        if self.backend == "processes":
+            from .worker import ProcessTransport
+
+            return ProcessTransport(self.config, self.plan, self.workload)
+        return SerialTransport(self.config, self.plan, self.workload)
+
+    def _merge(
+        self, reports: List[dict], windows: int, cross: int, wall: float
+    ) -> ShardedRunResult:
+        lines: List[str] = []
+        finds: Dict[int, dict] = {}
+        for report in reports:
+            lines.extend(report["send_lines"])
+            for find_id, info in report["finds"].items():
+                # Every shard carries a record (the `found` output fires
+                # at the evader's region, which any shard may own):
+                # completion/latency come from the shard that saw the
+                # output, per-find work sums over shards.
+                merged = finds.get(find_id)
+                if merged is None:
+                    finds[find_id] = dict(info)
+                else:
+                    merged["work"] += info["work"]
+                    if info["completed"] and not merged["completed"]:
+                        merged["completed"] = True
+                        merged["latency"] = info["latency"]
+        fault_events = None
+        if reports[0]["fault_stats"] is not None:
+            fault_events = dict(reports[0]["fault_stats"])
+            for key in (
+                "messages_dropped", "messages_duplicated", "messages_delayed"
+            ):
+                fault_events[key] = sum(
+                    r["fault_stats"][key] for r in reports
+                )
+        busy = [r["busy_s"] for r in reports]
+        total_busy = sum(busy)
+        # Serial: everything outside shard windows is driver overhead.
+        # Processes: windows overlap, so the wait is wall minus the
+        # critical path (the busiest worker) — an honest lower bound.
+        overlap = max(busy, default=0.0) if self.backend == "processes" else total_busy
+        return ShardedRunResult(
+            shards=self.plan.k,
+            backend=self.backend,
+            windows=windows,
+            events=sum(r["events"] for r in reports),
+            messages_sent=sum(r["messages_sent"] for r in reports),
+            total_cost=sum(r["total_cost"] for r in reports),
+            move_work=sum(r["move_work"] for r in reports),
+            find_work=sum(r["find_work"] for r in reports),
+            other_work=sum(r["other_work"] for r in reports),
+            moves_observed=max(r["moves_observed"] for r in reports),
+            finds_issued=len(finds),
+            finds_completed=sum(1 for f in finds.values() if f["completed"]),
+            cross_shard_messages=cross,
+            canonical_fingerprint=canonical_fingerprint(lines),
+            exact_fingerprint=(
+                f"{reports[0]['exact_crc']:08x}" if self.plan.k == 1 else None
+            ),
+            now=max(r["now"] for r in reports),
+            wall_s=wall,
+            busy_s=total_busy,
+            barrier_wait_s=max(0.0, wall - overlap),
+            fault_events=fault_events,
+            region_counts=tuple(self.plan.counts()),
+        )
+
+
+class SerialTransport:
+    """In-process backend: shard contexts stepped round-robin."""
+
+    def __init__(self, config, plan: ShardPlan, workload: ScriptedWorkload) -> None:
+        self.contexts = [
+            ShardContext(config, plan, shard, workload)
+            for shard in range(plan.k)
+        ]
+
+    def start(self) -> List[Optional[float]]:
+        return [ctx.next_event_time() for ctx in self.contexts]
+
+    def step_all(self, barrier: float, inboxes: List[List[RemoteMessage]]):
+        outboxes: List[List[RemoteMessage]] = []
+        next_times: List[Optional[float]] = []
+        for ctx, inbox in zip(self.contexts, inboxes):
+            for message in inbox:
+                ctx.inject(message)
+            ctx.run_window(barrier)
+            outboxes.append(ctx.drain_outbox())
+            next_times.append(ctx.next_event_time())
+        return outboxes, next_times
+
+    def finish(self) -> List[dict]:
+        return [ctx.report() for ctx in self.contexts]
+
+    def close(self) -> None:
+        pass
+
+
+def _tiling_for(config) -> Any:
+    """The region tiling ``config`` describes, without building a world."""
+    if config.hierarchy is not None:
+        return config.hierarchy.tiling
+    from ...topo import cache_enabled, topology_cache
+
+    if cache_enabled():
+        return topology_cache().grid(config.r, config.max_level).tiling
+    from ...hierarchy.grid import grid_hierarchy
+
+    return grid_hierarchy(config.r, config.max_level).tiling

@@ -1,0 +1,138 @@
+"""Process backend: one forked worker per shard, stepped over pipes.
+
+Protocol (parent → worker / worker → parent):
+
+* on start: worker builds its :class:`~repro.sim.sharded.context.
+  ShardContext` (replica construction hits the per-process topo cache)
+  and replies ``("ready", next_event_time)``;
+* ``("step", barrier, inbox)`` → inject the inbox, run the window,
+  reply ``("stepped", outbox, next_event_time)``;
+* ``("finish",)`` → reply ``("report", report_dict)`` and exit.
+
+The parent broadcasts ``step`` to every worker before collecting any
+reply, so the K windows compute concurrently; determinism needs no
+cooperation from the OS scheduler because the parent re-sorts the
+gathered outboxes canonically (see :mod:`repro.sim.sharded.core`).
+
+Workers fork when the platform allows it (Linux: inherits the warm
+parent topo cache for free); otherwise they spawn, which only requires
+what the protocol already guarantees — picklable configs, plans and
+workloads.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from typing import List, Optional
+
+from .context import RemoteMessage, ShardContext
+from .core import ShardedRunError
+from .plan import ShardPlan
+from .workload import ScriptedWorkload
+
+
+def shard_worker_main(conn, config, plan: ShardPlan, shard_id: int,
+                      workload: ScriptedWorkload) -> None:
+    """Worker entry point: build the shard replica and serve steps."""
+    try:
+        ctx = ShardContext(config, plan, shard_id, workload)
+        conn.send(("ready", ctx.next_event_time()))
+        while True:
+            command = conn.recv()
+            op = command[0]
+            if op == "step":
+                _, barrier, inbox = command
+                for message in inbox:
+                    ctx.inject(message)
+                ctx.run_window(barrier)
+                conn.send(("stepped", ctx.drain_outbox(), ctx.next_event_time()))
+            elif op == "finish":
+                conn.send(("report", ctx.report()))
+                return
+            else:
+                conn.send(("error", f"unknown command {op!r}", ""))
+                return
+    except EOFError:  # parent died; exit quietly
+        return
+    except Exception as exc:  # pragma: no cover - surfaced in the parent
+        try:
+            conn.send(("error", repr(exc), traceback.format_exc()))
+        except (BrokenPipeError, OSError):
+            pass
+    finally:
+        conn.close()
+
+
+def _mp_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-fork platforms
+        return multiprocessing.get_context()
+
+
+class ProcessTransport:
+    """Parent-side driver of K shard workers."""
+
+    def __init__(self, config, plan: ShardPlan, workload: ScriptedWorkload) -> None:
+        ctx = _mp_context()
+        self.pipes = []
+        self.procs = []
+        for shard in range(plan.k):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=shard_worker_main,
+                args=(child_conn, config, plan, shard, workload),
+                daemon=True,
+                name=f"repro-shard-{shard}",
+            )
+            proc.start()
+            child_conn.close()
+            self.pipes.append(parent_conn)
+            self.procs.append(proc)
+
+    def _recv(self, shard: int):
+        try:
+            message = self.pipes[shard].recv()
+        except EOFError as exc:
+            raise ShardedRunError(
+                f"shard {shard} worker died without replying"
+            ) from exc
+        if message[0] == "error":
+            raise ShardedRunError(
+                f"shard {shard} worker failed: {message[1]}\n{message[2]}"
+            )
+        return message
+
+    def start(self) -> List[Optional[float]]:
+        return [self._recv(shard)[1] for shard in range(len(self.pipes))]
+
+    def step_all(self, barrier: float, inboxes: List[List[RemoteMessage]]):
+        for pipe, inbox in zip(self.pipes, inboxes):
+            pipe.send(("step", barrier, inbox))
+        outboxes: List[List[RemoteMessage]] = []
+        next_times: List[Optional[float]] = []
+        for shard in range(len(self.pipes)):
+            message = self._recv(shard)
+            outboxes.append(message[1])
+            next_times.append(message[2])
+        return outboxes, next_times
+
+    def finish(self) -> List[dict]:
+        for pipe in self.pipes:
+            pipe.send(("finish",))
+        reports = [self._recv(shard)[1] for shard in range(len(self.pipes))]
+        for proc in self.procs:
+            proc.join(timeout=10.0)
+        return reports
+
+    def close(self) -> None:
+        for pipe in self.pipes:
+            try:
+                pipe.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+        for proc in self.procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)

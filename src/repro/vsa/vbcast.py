@@ -10,7 +10,7 @@ reaches every endpoint registered in ``u`` or a neighbor after ``δ``
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..geometry.regions import RegionId
 from ..geometry.tiling import Tiling
@@ -25,9 +25,20 @@ Endpoint = Callable[[Any, RegionId], None]
 # exactly as normal.
 FaultFilter = Callable[[RegionId, Any, float, bool], Optional[List[float]]]
 
+# Shard routing hook (see repro.sim.sharded): called once per broadcast
+# copy with (source_region, message, remote_regions, deliver_time) for
+# the target regions this shard does not own; the sharded driver
+# re-injects them via :meth:`VBcast.apply_remote`.
+ShardRouter = Callable[[RegionId, Any, Tuple[RegionId, ...], float], None]
+
 
 class VBcast:
     """Reliable single-hop broadcast between clients and VSAs."""
+
+    #: Class-level fallbacks so checkpoints pickled before the sharding
+    #: hooks existed unpickle into a working (unhooked) instance.
+    owned_filter: Optional[Callable[[RegionId], bool]] = None
+    shard_router: Optional[ShardRouter] = None
 
     def __init__(self, sim: Simulator, tiling: Tiling, delta: float, e: float = 0.0) -> None:
         if delta < 0 or e < 0:
@@ -40,6 +51,12 @@ class VBcast:
         #: Optional fault-injection interposition point (repro.faults).
         #: When None (the default) bcast is exactly the single-hop path.
         self.fault_filter: Optional[FaultFilter] = None
+        #: Region-ownership predicate (repro.sim.sharded).  When set,
+        #: local delivery covers only owned target regions; the rest are
+        #: handed to :attr:`shard_router` for cross-shard transport.
+        self.owned_filter: Optional[Callable[[RegionId], bool]] = None
+        #: Cross-shard routing point, paired with :attr:`owned_filter`.
+        self.shard_router: Optional[ShardRouter] = None
         self.broadcasts = 0
         self.deliveries = 0
 
@@ -63,6 +80,11 @@ class VBcast:
         self.broadcasts += 1
         delay = self.delta + (self.e if from_vsa else 0.0)
         targets = [source_region, *self.tiling.neighbors(source_region)]
+        owned = self.owned_filter
+        remote: Tuple[RegionId, ...] = ()
+        if owned is not None:
+            remote = tuple(r for r in targets if not owned(r))
+            targets = [r for r in targets if owned(r)]
 
         def deliver() -> None:
             for region in targets:
@@ -75,5 +97,23 @@ class VBcast:
             faulted = self.fault_filter(source_region, message, delay, from_vsa)
             if faulted is not None:
                 delays = list(faulted)
+        router = self.shard_router
         for copy_delay in delays:
-            self.sim.call_after(copy_delay, deliver, tag="vbcast")
+            if targets:
+                self.sim.call_after(copy_delay, deliver, tag="vbcast")
+            if remote and router is not None:
+                router(source_region, message, remote, self.sim.now + copy_delay)
+
+    def apply_remote(
+        self, source_region: RegionId, message: Any, regions: Sequence[RegionId]
+    ) -> None:
+        """Deliver a broadcast copy routed in from another shard.
+
+        Applies the terminal delivery to endpoints in ``regions`` at the
+        current simulation time; the sending shard already counted the
+        broadcast and ran fault interposition.
+        """
+        for region in regions:
+            for _name, endpoint in list(self._endpoints.get(region, [])):
+                self.deliveries += 1
+                endpoint(message, source_region)

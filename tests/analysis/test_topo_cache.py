@@ -189,6 +189,40 @@ class TestSweepRunner:
         runner = SweepRunner(workers=4, mode="parallel")
         runner.run(TINY_JOBS)
         assert runner.last_mode == "serial"
+        assert "kill-switch" in runner.last_mode_reason
+
+    def test_env_request_forces_pool_past_fallbacks(self, monkeypatch):
+        # REPRO_PARALLEL=2 is an explicit operator request: auto mode
+        # must skip both the cpu-count and probe fallbacks and fork,
+        # even on a single-core box with a tiny sweep.
+        monkeypatch.setattr("repro.analysis.parallel.os.cpu_count", lambda: 1)
+        monkeypatch.setenv("REPRO_PARALLEL", "2")
+        runner = SweepRunner()
+        serial = SweepRunner(workers=1, mode="serial").run(TINY_JOBS)
+        results = runner.run(TINY_JOBS)
+        assert runner.last_mode == "processes"
+        assert "forces the pool" in runner.last_mode_reason
+        assert [r.value for r in results] == [r.value for r in serial]
+
+    def test_env_one_does_not_force(self, monkeypatch):
+        monkeypatch.setattr("repro.analysis.parallel.os.cpu_count", lambda: 1)
+        monkeypatch.setenv("REPRO_PARALLEL", "1")
+        runner = SweepRunner()
+        runner.run(TINY_JOBS)
+        assert runner.last_mode == "serial"
+
+    def test_fallback_reasons_recorded(self, monkeypatch):
+        monkeypatch.setattr("repro.analysis.parallel.os.cpu_count", lambda: 1)
+        runner = SweepRunner(workers=4)
+        runner.run(TINY_JOBS)
+        assert runner.last_mode == "serial-fallback"
+        assert "cpu_count=1" in runner.last_mode_reason
+
+        monkeypatch.setattr("repro.analysis.parallel.os.cpu_count", lambda: 8)
+        runner = SweepRunner(workers=4)
+        runner.run(TINY_JOBS)
+        assert runner.last_mode == "serial-fallback"
+        assert "probe extrapolation" in runner.last_mode_reason
 
     def test_serial_mode_never_forks(self):
         runner = SweepRunner(workers=4, mode="serial")

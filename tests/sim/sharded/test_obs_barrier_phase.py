@@ -1,0 +1,51 @@
+"""Barrier overhead must be charged to its own obs phase.
+
+The sharded driver wraps its barrier loop in a ``sharded.run`` span on
+the ``barrier`` phase; the per-window engine loops open their usual
+``sim.run`` spans (phase ``events``) *inside* it.  Span self-time
+accounting then guarantees exchange/wait time lands in ``barrier`` and
+never inflates ``events`` — which is what makes the phase split a
+trustworthy answer to "where did the wall time go?".
+"""
+
+import repro.obs as obs
+from repro.sim.sharded import run_sharded_walk
+
+WALK = dict(r=2, max_level=3, n_moves=8, n_finds=4, seed=11)
+
+
+def test_barrier_phase_partitions_driver_time():
+    with obs.observed(events=False) as collector:
+        run_sharded_walk(shards=2, **WALK)
+    totals = collector.phase_totals
+    assert "barrier" in totals
+    assert totals["barrier"] >= 0.0
+    assert "events" in totals  # window loops still charge the engine phase
+
+    driver_spans = [s for s in collector.spans if s.name == "sharded.run"]
+    assert len(driver_spans) == 1
+    driver = driver_spans[0]
+    assert driver.phase == "barrier"
+    # Self time (charged to `barrier`) excludes the child window loops:
+    window_spans = [s for s in collector.spans if s.name == "sim.run"]
+    assert window_spans, "engine windows should record sim.run spans"
+    assert driver.self_s <= driver.duration_s
+    assert all(s.depth > driver.depth for s in window_spans)
+
+
+def test_events_phase_not_inflated_by_barrier_overhead():
+    # The events-phase total for a sharded run must stay in the same
+    # ballpark as the shards' busy time, not absorb the driver loop:
+    # barrier self time + events time ≈ driver duration.
+    with obs.observed(events=False) as collector:
+        run_sharded_walk(shards=2, **WALK)
+    driver = next(s for s in collector.spans if s.name == "sharded.run")
+    parts = collector.phase_totals["barrier"] + collector.phase_totals["events"]
+    assert parts <= driver.duration_s + 0.05
+
+
+def test_observability_off_adds_no_spans():
+    obs.disable()
+    result = run_sharded_walk(shards=2, **WALK)
+    assert result.canonical_fingerprint  # ran fine without a collector
+    assert obs.collector() is None

@@ -1,0 +1,62 @@
+"""The process backend must be semantically invisible.
+
+Shard replicas are pure functions of ``(config, plan, shard_id,
+workload)`` and the exchange order is canonical, so running shards in
+forked workers instead of in-process must change nothing but wall
+time: same canonical fingerprint, same totals, regardless of worker
+scheduling.
+"""
+
+import pytest
+
+from repro.sim.sharded import ShardedRunError, run_sharded_walk
+
+WALK = dict(r=2, max_level=3, n_moves=8, n_finds=4, seed=11)
+
+
+def test_process_backend_matches_serial_backend():
+    serial = run_sharded_walk(shards=2, backend="serial", **WALK)
+    procs = run_sharded_walk(shards=2, backend="processes", **WALK)
+    assert procs.backend == "processes"
+    assert procs.canonical_fingerprint == serial.canonical_fingerprint
+    assert procs.events == serial.events
+    assert procs.messages_sent == serial.messages_sent
+    assert procs.windows == serial.windows
+    assert procs.cross_shard_messages == serial.cross_shard_messages
+    assert procs.finds_completed == serial.finds_completed
+
+
+def test_process_backend_fault_armed():
+    kwargs = dict(WALK, loss_rate=0.1, jitter_rate=0.3)
+    serial = run_sharded_walk(shards=2, backend="serial", **kwargs)
+    procs = run_sharded_walk(shards=2, backend="processes", **kwargs)
+    assert procs.canonical_fingerprint == serial.canonical_fingerprint
+    assert procs.fault_events == serial.fault_events
+
+
+def test_single_shard_never_forks():
+    result = run_sharded_walk(shards=1, backend="processes", **WALK)
+    assert result.backend == "serial"
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError):
+        run_sharded_walk(shards=2, backend="threads", **WALK)
+
+
+def test_worker_failure_surfaces_as_sharded_run_error(monkeypatch):
+    # Sabotage the worker entry point: the parent must raise a
+    # ShardedRunError (not hang on a dead pipe) and reap the workers.
+    from repro.scenario import ScenarioConfig
+    from repro.sim.sharded import ShardedSimulator, make_walk_workload
+    from repro.sim.sharded.core import _tiling_for
+
+    config = ScenarioConfig(r=2, max_level=3, seed=11, shards=2)
+    workload = make_walk_workload(_tiling_for(config), 4, 2, 11)
+    sim = ShardedSimulator(config, workload, backend="processes")
+    monkeypatch.setattr(
+        "repro.sim.sharded.worker.ShardContext",
+        None,  # workers crash on first use
+    )
+    with pytest.raises(ShardedRunError):
+        sim.run()
