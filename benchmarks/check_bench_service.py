@@ -1,0 +1,161 @@
+"""Validate a BENCH_service.json artifact (bench-service/1).
+
+CI's smoke-service step runs this after ``repro.service.harness``;
+exits nonzero when the artifact is malformed or a gate fails.
+
+Checks:
+
+* schema is ``bench-service/1``;
+* every scenario ran on **both** engines (plain reference and sharded
+  PDES) and their canonical trace fingerprints match
+  (``fingerprint_match`` — the service-level K-invariance gate);
+* per engine, the metric block is complete: find counts, completion
+  rate, latency percentiles (ordered p50 ≤ p95 ≤ p99, with mean and
+  jitter), throughput, deadline accounting and per-object handover
+  counts — and the two engines agree on every simulation-time quantity
+  (wall clock is the only engine-dependent field);
+* a full artifact (``quick: false``) must contain at least one
+  scenario at the ISSUE acceptance floor: M ≥ 100 objects and ≥ 1000
+  issued finds.
+
+Usage::
+
+    python benchmarks/check_bench_service.py [BENCH_service.json] [--quick]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+SCHEMA = "bench-service/1"
+
+#: The full-artifact acceptance floor (ISSUE: one scenario with at
+#: least this many objects and issued finds, on both engines).
+MIN_OBJECTS = 100
+MIN_FINDS = 1000
+
+#: Metric keys every engine block must carry.
+METRIC_KEYS = (
+    "finds_issued",
+    "finds_completed",
+    "completion_rate",
+    "latency",
+    "throughput_per_time",
+    "deadline_miss_rate",
+    "deadlines_set",
+    "deadlines_missed",
+    "handovers_total",
+    "handovers_per_object",
+    "mean_find_work",
+)
+
+LATENCY_KEYS = ("p50", "p95", "p99", "mean", "jitter")
+
+#: Simulation-time metric keys that must be identical across engines
+#: (everything except nothing — the whole block is sim-time — but keep
+#: the comparison explicit and readable).
+ENGINE_INVARIANT_KEYS = METRIC_KEYS
+
+
+def _check_metrics(name: str, engine: str, metrics: dict, problems: list) -> None:
+    for key in METRIC_KEYS:
+        if key not in metrics:
+            problems.append(f"{name}/{engine}: metric {key!r} missing")
+    latency = metrics.get("latency") or {}
+    for key in LATENCY_KEYS:
+        if key not in latency:
+            problems.append(f"{name}/{engine}: latency.{key} missing")
+    p50, p95, p99 = (latency.get(k) for k in ("p50", "p95", "p99"))
+    if None not in (p50, p95, p99) and not (p50 <= p95 <= p99):
+        problems.append(
+            f"{name}/{engine}: latency percentiles out of order "
+            f"(p50={p50}, p95={p95}, p99={p99})"
+        )
+    if metrics.get("finds_issued", 0) <= 0:
+        problems.append(f"{name}/{engine}: no finds issued")
+    if metrics.get("finds_completed", 0) <= 0:
+        problems.append(f"{name}/{engine}: no finds completed")
+    if metrics.get("handovers_total", 0) <= 0:
+        problems.append(f"{name}/{engine}: no handovers observed")
+    rate = metrics.get("deadline_miss_rate")
+    if metrics.get("deadlines_set", 0) > 0 and rate is None:
+        problems.append(
+            f"{name}/{engine}: deadlines set but deadline_miss_rate is null"
+        )
+
+
+def check(path: Path, quick: bool = False) -> int:
+    bench = json.loads(path.read_text())
+    problems = []
+
+    if bench.get("schema") != SCHEMA:
+        problems.append(f"schema {bench.get('schema')!r} != {SCHEMA!r}")
+
+    scenarios = bench.get("scenarios", [])
+    if not scenarios:
+        problems.append("no scenarios in artifact")
+
+    floor_met = False
+    for scenario in scenarios:
+        name = scenario.get("name", "<unnamed>")
+        if scenario.get("fingerprint_match") is not True:
+            problems.append(
+                f"{name}: canonical fingerprints diverge between the plain "
+                "and sharded engines (service determinism regression)"
+            )
+        for engine in ("plain", "sharded"):
+            block = scenario.get(engine)
+            if not block:
+                problems.append(f"{name}: engine block {engine!r} missing")
+                continue
+            if not block.get("canonical_fingerprint"):
+                problems.append(f"{name}/{engine}: no canonical fingerprint")
+            _check_metrics(name, engine, block.get("metrics", {}), problems)
+        plain = (scenario.get("plain") or {}).get("metrics", {})
+        sharded = (scenario.get("sharded") or {}).get("metrics", {})
+        for key in ENGINE_INVARIANT_KEYS:
+            if plain.get(key) != sharded.get(key):
+                problems.append(
+                    f"{name}: metric {key!r} differs across engines "
+                    f"(plain={plain.get(key)!r}, sharded={sharded.get(key)!r})"
+                )
+        if (scenario.get("sharded") or {}).get("shards", 0) < 2:
+            problems.append(f"{name}: sharded engine ran with K < 2")
+        if (
+            scenario.get("config", {}).get("n_objects", 0) >= MIN_OBJECTS
+            and plain.get("finds_issued", 0) >= MIN_FINDS
+        ):
+            floor_met = True
+
+    if not quick and not bench.get("quick") and not floor_met:
+        problems.append(
+            f"no scenario meets the acceptance floor: >= {MIN_OBJECTS} "
+            f"objects with >= {MIN_FINDS} issued finds"
+        )
+
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"OK: {len(scenarios)} scenario(s), fingerprints match on both "
+        "engines, metric blocks complete",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def main(argv) -> int:
+    args = [a for a in argv if not a.startswith("--")]
+    quick = "--quick" in argv
+    path = Path(args[0]) if args else Path("BENCH_service.json")
+    if not path.exists():
+        print(f"FAIL: {path} does not exist", file=sys.stderr)
+        return 1
+    return check(path, quick=quick)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

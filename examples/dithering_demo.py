@@ -9,7 +9,8 @@ make the steady-state cost constant.
 Run:  python examples/dithering_demo.py
 """
 
-from repro import ScenarioConfig, build, grid_hierarchy
+from repro import grid_hierarchy
+from repro.api import ScenarioConfig, build
 from repro.analysis import format_table
 from repro.mobility import BoundaryOscillator, worst_boundary_pair
 

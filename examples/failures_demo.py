@@ -12,7 +12,7 @@ Run:  python examples/failures_demo.py
 
 import random
 
-from repro import ScenarioConfig, build
+from repro.api import ScenarioConfig, build
 from repro.mobility import RandomNeighborWalk
 
 T_RESTART = 5.0

@@ -12,7 +12,7 @@ Run:  python examples/irregular_map.py
 
 import random
 
-from repro import ScenarioConfig, build
+from repro.api import ScenarioConfig, build
 from repro.analysis import format_table
 from repro.core import uniform_schedule
 from repro.geometry import HexTiling

@@ -11,7 +11,7 @@ Run:  python examples/pursuit.py
 
 import random
 
-from repro import ScenarioConfig, build
+from repro.api import ScenarioConfig, build
 from repro.mobility import RandomNeighborWalk, concurrent_dwell
 
 

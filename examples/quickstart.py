@@ -10,7 +10,7 @@ Run:  python examples/quickstart.py
 
 import random
 
-from repro import ScenarioConfig, build
+from repro.api import ScenarioConfig, build
 from repro.mobility import RandomNeighborWalk
 
 

@@ -12,7 +12,7 @@ Runs one evader move on the real simulator and shows:
 Run:  python examples/verify_model.py
 """
 
-from repro import ScenarioConfig, build
+from repro.api import ScenarioConfig, build
 from repro.analysis.timeline import extract_timeline, format_timeline
 from repro.core import (
     atomic_move_seq,

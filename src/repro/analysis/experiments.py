@@ -1,8 +1,21 @@
-"""Experiment runners behind the benchmark harness (E1–E8).
+"""Experiment runners behind the benchmark harness (E1–E8, SVC).
 
 Each runner builds a fresh world, drives it, and returns a small result
 record; the ``benchmarks/`` files and EXPERIMENTS.md generation call
 these.  All runners are deterministic for a fixed seed.
+
+Two driving styles coexist here:
+
+* the **interactive** loops (E1–E9): call ``evader.step()``, run to
+  quiescence, sample an accountant epoch, repeat — required whenever a
+  measurement must interpose *between* moves (per-move work, settle
+  times, mid-flight probes);
+* the **workload protocol** (:mod:`repro.workload`): experiments whose
+  drive is a pure timed event stream go through ``Workload.events(seed)``
+  — one frozen script that runs bit-identically on the plain engine and
+  the any-K sharded engine.  :func:`run_service_mk` (the M×K service
+  scaling table) is the canonical protocol-driven experiment; new
+  experiments should prefer this style unless they need interposition.
 """
 
 from __future__ import annotations
@@ -681,6 +694,94 @@ def run_equivalence_check(
         if check_consistent(snapshot, hierarchy, evader.region):
             mismatches += 1
     return checked, mismatches
+
+
+# ----------------------------------------------------------------------
+# SVC: multi-object service scaling (DESIGN.md §9)
+# ----------------------------------------------------------------------
+@dataclass
+class ServiceScaleRow:
+    """One M×K cell of the service scaling table."""
+
+    objects: int
+    clients: int
+    finds: int
+    shards: int
+    completion_rate: float
+    p50: float
+    p95: float
+    p99: float
+    throughput: float
+    deadline_miss_rate: float
+    handovers: int
+    fingerprint_match: bool
+
+
+def run_service_mk(
+    cells: List[Tuple[int, int, int]],
+    r: int = 2,
+    max_level: int = 2,
+    seed: int = 7,
+    shards: int = 2,
+    arrival: str = "poisson",
+    rate: float = 2.0,
+    deadline: float = 60.0,
+    moves_per_object: int = 2,
+) -> List[ServiceScaleRow]:
+    """The M×K service scaling sweep, one row per ``(M, K, finds)`` cell.
+
+    Protocol-driven: each cell is one :class:`~repro.service.LoadGenerator`
+    workload (an ``events(seed)`` stream) admitted through
+    :class:`~repro.service.TrackingService` on **both** engines — the
+    plain single loop and the K-sharded PDES core — so every row also
+    re-checks service-level K-invariance (``fingerprint_match``).
+    Metrics are read from the plain engine; the gate guarantees the
+    sharded engine reports the same sim-time values.
+    """
+    from ..service import LoadGenerator, TrackingService
+    from ..sim.sharded.core import _tiling_for
+
+    rows: List[ServiceScaleRow] = []
+    for n_objects, n_clients, n_finds in cells:
+        config = ScenarioConfig(
+            r=r,
+            max_level=max_level,
+            seed=seed,
+            shards=shards,
+            n_objects=n_objects,
+            find_clients=n_clients,
+        )
+        load = LoadGenerator(
+            tiling=_tiling_for(config),
+            n_objects=n_objects,
+            n_finds=n_finds,
+            find_clients=n_clients,
+            arrival=arrival,
+            rate=rate,
+            moves_per_object=moves_per_object,
+            deadline=deadline,
+        )
+        plain = TrackingService(config, engine="plain").run(load)
+        sharded = TrackingService(config, engine="sharded").run(load)
+        metrics = plain.metrics
+        latency = metrics["latency"]
+        rows.append(ServiceScaleRow(
+            objects=n_objects,
+            clients=n_clients,
+            finds=metrics["finds_issued"],
+            shards=sharded.shards,
+            completion_rate=metrics["completion_rate"],
+            p50=latency["p50"] or 0.0,
+            p95=latency["p95"] or 0.0,
+            p99=latency["p99"] or 0.0,
+            throughput=metrics["throughput_per_time"],
+            deadline_miss_rate=metrics["deadline_miss_rate"] or 0.0,
+            handovers=metrics["handovers_total"],
+            fingerprint_match=(
+                plain.canonical_fingerprint == sharded.canonical_fingerprint
+            ),
+        ))
+    return rows
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,114 @@
+"""The stable public facade (``repro.api``).
+
+One import surface for everything a harness, notebook or downstream
+script needs; the deep module paths remain importable, but this module
+is the compatibility contract — names exported here do not move or
+change shape without a deprecation note in CHANGES.md.
+
+Typical session::
+
+    from repro import api
+
+    config = api.ScenarioConfig(r=2, max_level=2, seed=7, shards=2,
+                                n_objects=8)
+    load = api.LoadGenerator(tiling=api.build(config).hierarchy.tiling,
+                             n_objects=8, n_finds=100, deadline=60.0)
+    result = api.TrackingService(config, engine="sharded").run(load)
+    print(result.metrics["latency"]["p95"])
+
+Grouped exports:
+
+* **scenario** — :class:`ScenarioConfig`, :class:`Scenario`,
+  :func:`build`;
+* **workload protocol** — :class:`Workload`, :class:`WalkWorkload`,
+  :class:`ScriptedWorkload`, :func:`materialize`, :func:`drive`;
+* **service** — :class:`LoadGenerator`, :class:`TrackingService`,
+  :class:`ServiceRunResult`, :func:`service_metrics`,
+  :func:`latency_percentiles`;
+* **engines** — :class:`Simulator` (plain event loop),
+  :class:`ShardedSimulator` plus the :func:`run_reference_walk` /
+  :func:`run_sharded_walk` one-call runners;
+* **checkpoint / replay** — :func:`snapshot_scenario`, :func:`save`,
+  :func:`load`, :func:`restore_scenario`, :func:`bisect_divergence`,
+  :class:`Variant`;
+* **experiment sweeps** — :func:`run_find_sweep`, :func:`run_move_walk`,
+  :func:`run_service_mk`, :func:`run_chaos`.
+"""
+
+from __future__ import annotations
+
+from .analysis.experiments import (
+    run_find_sweep,
+    run_move_walk,
+    run_service_mk,
+)
+from .analysis.recovery import run_chaos
+from .ckpt import (
+    Snapshot,
+    Variant,
+    bisect_divergence,
+    load,
+    restore_scenario,
+    save,
+    snapshot_scenario,
+)
+from .core.vinestalk import VineStalk
+from .scenario import Scenario, ScenarioConfig, build
+from .service import (
+    LoadGenerator,
+    ServiceRunResult,
+    TrackingService,
+    latency_percentiles,
+    service_metrics,
+)
+from .sim.engine import Simulator
+from .sim.sharded import (
+    ShardedSimulator,
+    run_reference_walk,
+    run_sharded_walk,
+)
+from .workload import (
+    ScriptedWorkload,
+    WalkWorkload,
+    Workload,
+    drive,
+    materialize,
+)
+
+__all__ = [
+    # scenario
+    "Scenario",
+    "ScenarioConfig",
+    "VineStalk",
+    "build",
+    # workload protocol
+    "ScriptedWorkload",
+    "WalkWorkload",
+    "Workload",
+    "drive",
+    "materialize",
+    # service
+    "LoadGenerator",
+    "ServiceRunResult",
+    "TrackingService",
+    "latency_percentiles",
+    "service_metrics",
+    # engines
+    "ShardedSimulator",
+    "Simulator",
+    "run_reference_walk",
+    "run_sharded_walk",
+    # checkpoint / replay
+    "Snapshot",
+    "Variant",
+    "bisect_divergence",
+    "load",
+    "restore_scenario",
+    "save",
+    "snapshot_scenario",
+    # experiment sweeps
+    "run_chaos",
+    "run_find_sweep",
+    "run_move_walk",
+    "run_service_mk",
+]

@@ -22,14 +22,15 @@ from ..core.vinestalk import VineStalk
 class NoLateralTracker(Tracker):
     """Tracker variant that always grows to its hierarchy parent."""
 
-    def output_grow_send(self) -> None:
+    def output_grow_send(self, object_id: int = 0) -> None:
         """As Fig. 2's grow send, but with the lateral branch removed."""
-        self.timer.disarm()
+        lane = self.lane(object_id)
+        lane.timer.disarm()
         par = self.parent_cluster
         assert par is not None, "grow timer armed at MAX level"
-        self.p = par
-        self._send(par, Grow(cid=self.clust))
-        self._queue_to_nbrs(GrowPar(cid=self.clust))
+        lane.p = par
+        self._send(par, Grow(cid=self.clust, object_id=object_id))
+        self._queue_to_nbrs(GrowPar(cid=self.clust, object_id=object_id))
         self.trace("grow-sent", (par, "vertical"))
 
 

@@ -16,11 +16,19 @@ Commands:
 * ``sharded``  — run the region-sharded PDES core on a scripted walk,
   compare its trace fingerprint at K shards against the single-loop
   reference engine, and report the determinism verdict (CI's
-  smoke-sharded job runs this with ``--json``).
+  smoke-sharded job runs this with ``--json``);
+* ``service``  — run one multi-object :class:`~repro.service.LoadGenerator`
+  workload through :class:`~repro.service.TrackingService` on both
+  engines and report per-find latency metrics plus the cross-engine
+  fingerprint verdict (CI's smoke-service job exercises the same path
+  via ``repro.service.harness``).
 
 The world-shape flags (``--r``, ``--max-level``, ``--seed``) are shared
 by every world-building command via a common parent parser; each command
-keeps its historical defaults.
+keeps its historical defaults.  **Every** subcommand accepts ``--json``
+(a second shared parent): machine output is one schema-versioned
+envelope ``{"schema": "repro-cli/1", "command": <name>, "data": {...}}``
+so scripts and CI never parse per-command shapes.
 """
 
 from __future__ import annotations
@@ -29,16 +37,47 @@ import argparse
 import json
 import random
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
+
+#: Envelope schema for all ``--json`` output.
+CLI_SCHEMA = "repro-cli/1"
 
 
-def _common_flags() -> argparse.ArgumentParser:
-    """Parent parser holding the flags every world-building command takes."""
+def _emit(command: str, data: Dict[str, Any]) -> None:
+    """Print the one ``repro-cli/1`` JSON envelope for ``command``."""
+    print(json.dumps(
+        {"schema": CLI_SCHEMA, "command": command, "data": data},
+        sort_keys=True,
+    ))
+
+
+def _common_flags(
+    r: int, max_level: int, seed: Optional[int] = None
+) -> argparse.ArgumentParser:
+    """A fresh parent parser with the world-shape flags and defaults.
+
+    Each subcommand gets its **own** parent instance: argparse parents
+    share action objects, so a single shared parent plus per-subparser
+    ``set_defaults`` silently gives every command the defaults of
+    whichever subparser was registered last.
+    """
     common = argparse.ArgumentParser(add_help=False)
-    common.add_argument("--r", type=int, help="grid base")
-    common.add_argument("--max-level", type=int, help="hierarchy MAX")
-    common.add_argument("--seed", type=int, help="root RNG seed")
+    common.add_argument("--r", type=int, default=r, help="grid base")
+    common.add_argument("--max-level", type=int, default=max_level,
+                        help="hierarchy MAX")
+    common.add_argument("--seed", type=int, default=seed,
+                        help="root RNG seed")
     return common
+
+
+def _json_flags() -> argparse.ArgumentParser:
+    """Parent parser holding the ``--json`` flag every command takes."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--json", action="store_true",
+        help='emit one {"schema": "repro-cli/1", ...} JSON envelope',
+    )
+    return parent
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -47,25 +86,24 @@ def _build_parser() -> argparse.ArgumentParser:
         description="VINESTALK reproduction (Nolte & Lynch, ICDCS 2007)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    common = _common_flags()
+    jsonf = _json_flags()
 
     demo = sub.add_parser(
-        "demo", parents=[common], help="tracked random walk with finds"
+        "demo", parents=[_common_flags(r=3, max_level=2, seed=7), jsonf],
+        help="tracked random walk with finds",
     )
-    demo.set_defaults(r=3, max_level=2, seed=7)
     demo.add_argument("--moves", type=int, default=20)
     demo.add_argument("--finds", type=int, default=4)
 
     find = sub.add_parser(
-        "find", parents=[common], help="find-cost sweep by distance"
+        "find", parents=[_common_flags(r=2, max_level=4, seed=21), jsonf],
+        help="find-cost sweep by distance",
     )
-    find.set_defaults(r=2, max_level=4, seed=21)
 
     chaos = sub.add_parser(
-        "chaos", parents=[common],
+        "chaos", parents=[_common_flags(r=2, max_level=2, seed=7), jsonf],
         help="fault injection: loss/crash chaos + recovery metrics",
     )
-    chaos.set_defaults(r=2, max_level=2, seed=7)
     chaos.add_argument(
         "--system", default="stabilizing",
         help="scenario system key (default stabilizing; try vinestalk)",
@@ -76,10 +114,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="per-tick per-VSA crash probability")
     chaos.add_argument("--duration", type=float, default=150.0,
                        help="fault window / workload length (sim time)")
-    chaos.add_argument("--json", action="store_true",
-                       help="emit the metrics as one JSON object")
 
-    report = sub.add_parser("report", help="regenerate EXPERIMENTS.md content")
+    report = sub.add_parser(
+        "report", parents=[jsonf], help="regenerate EXPERIMENTS.md content"
+    )
     report.add_argument("--out", default=None, help="output path (default stdout)")
     report.add_argument(
         "--obs", action="store_true",
@@ -93,19 +131,18 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     validate = sub.add_parser(
-        "validate", parents=[common], help="validate a hierarchy (§II-B)"
+        "validate", parents=[_common_flags(r=3, max_level=2), jsonf],
+        help="validate a hierarchy (§II-B)",
     )
-    validate.set_defaults(r=3, max_level=2)
     validate.add_argument("--strip", action="store_true", help="strip world")
     validate.add_argument(
         "--skip-proximity", action="store_true", help="skip the proximity check"
     )
 
     snapshot = sub.add_parser(
-        "snapshot", parents=[common],
+        "snapshot", parents=[_common_flags(r=2, max_level=2, seed=7), jsonf],
         help="checkpoint the canonical tracked walk at a cut point",
     )
-    snapshot.set_defaults(r=2, max_level=2, seed=7)
     snapshot.add_argument("--at", type=float, default=25.0,
                           help="sim time of the cut point (default 25)")
     snapshot.add_argument("--moves", type=int, default=5,
@@ -116,19 +153,17 @@ def _build_parser() -> argparse.ArgumentParser:
                           help="checkpoint path (default walk.ckpt)")
 
     resume = sub.add_parser(
-        "resume", help="restore a checkpoint and run it to completion"
+        "resume", parents=[jsonf],
+        help="restore a checkpoint and run it to completion",
     )
     resume.add_argument("path", help="a ckpt/1 file written by 'repro snapshot'")
     resume.add_argument("--until", type=float, default=None,
                         help="sim time to run to (default: the walk horizon)")
-    resume.add_argument("--json", action="store_true",
-                        help="emit the run fingerprint as JSON")
 
     bisect = sub.add_parser(
-        "bisect", parents=[common],
+        "bisect", parents=[_common_flags(r=2, max_level=2, seed=7), jsonf],
         help="locate the first diverging event between two run variants",
     )
-    bisect.set_defaults(r=2, max_level=2, seed=7)
     bisect.add_argument("--a", default="base", dest="variant_a",
                         help='variant A, e.g. "base" or "cache:off,loss:0.3"')
     bisect.add_argument("--b", default="base", dest="variant_b",
@@ -136,14 +171,11 @@ def _build_parser() -> argparse.ArgumentParser:
     bisect.add_argument("--moves", type=int, default=5)
     bisect.add_argument("--window", type=int, default=256,
                         help="events per lockstep window (default 256)")
-    bisect.add_argument("--json", action="store_true",
-                        help="emit the divergence report as JSON")
 
     sharded = sub.add_parser(
-        "sharded", parents=[common],
+        "sharded", parents=[_common_flags(r=2, max_level=3, seed=11), jsonf],
         help="sharded PDES run vs single-loop reference (determinism check)",
     )
-    sharded.set_defaults(r=2, max_level=3, seed=11)
     sharded.add_argument("--shards", type=int, default=2,
                          help="region shard count K (default 2)")
     sharded.add_argument("--backend", choices=("serial", "processes"),
@@ -155,8 +187,29 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="arm a message-loss rule at this rate")
     sharded.add_argument("--jitter", type=float, default=0.0,
                          help="arm a message-jitter rule at this rate")
-    sharded.add_argument("--json", action="store_true",
-                         help="emit the comparison as one JSON object")
+
+    service = sub.add_parser(
+        "service", parents=[_common_flags(r=2, max_level=2, seed=7), jsonf],
+        help="multi-object tracking service: one load-generator workload "
+             "on both engines + fingerprint verdict",
+    )
+    service.add_argument("--objects", type=int, default=6,
+                         help="tracked objects M (default 6)")
+    service.add_argument("--finds", type=int, default=40,
+                         help="total find arrivals (default 40)")
+    service.add_argument("--clients", type=int, default=4,
+                         help="client origin pool size (default 4)")
+    service.add_argument("--arrival", choices=("poisson", "burst", "uniform"),
+                         default="poisson",
+                         help="find arrival process (default poisson)")
+    service.add_argument("--rate", type=float, default=1.0,
+                         help="poisson arrivals per sim time unit")
+    service.add_argument("--deadline", type=float, default=60.0,
+                         help="per-find latency budget (sim time)")
+    service.add_argument("--moves-per-object", type=int, default=2,
+                         help="walk steps per object (default 2)")
+    service.add_argument("--shards", type=int, default=2,
+                         help="shard count K for the sharded engine")
     return parser
 
 
@@ -179,25 +232,45 @@ def cmd_demo(args) -> int:
     for _ in range(args.moves):
         evader.step()
         system.run_to_quiescence()
-    print(
-        f"world {hierarchy.tiling.width}x{hierarchy.tiling.height} "
-        f"(r={args.r}, MAX={args.max_level}), {args.moves} moves, "
-        f"evader at {evader.region}"
-    )
+    finds = []
     snapshot = system.snapshot()
-    print(render_grid_world(hierarchy, snapshot, evader.region))
-    print(render_path(hierarchy, snapshot))
-    print(render_pointer_stats(snapshot))
-    print(f"move work: {accountant.move_work:.0f} "
-          f"({accountant.move_work / max(1, args.moves):.1f} per move)")
     for _ in range(args.finds):
         origin = rng.choice(regions)
         find_id = system.issue_find(origin)
         system.run_to_quiescence()
         record = system.finds.records[find_id]
-        d = hierarchy.tiling.distance(origin, evader.region)
-        print(f"find from {origin} (d={d}): work {record.work:.0f}, "
-              f"latency {record.latency:.1f}")
+        finds.append({
+            "origin": list(origin),
+            "distance": hierarchy.tiling.distance(origin, evader.region),
+            "work": record.work,
+            "latency": record.latency,
+        })
+    if args.json:
+        _emit("demo", {
+            "r": args.r,
+            "max_level": args.max_level,
+            "seed": args.seed,
+            "width": hierarchy.tiling.width,
+            "height": hierarchy.tiling.height,
+            "moves": args.moves,
+            "evader_region": list(evader.region),
+            "move_work": accountant.move_work,
+            "finds": finds,
+        })
+        return 0
+    print(
+        f"world {hierarchy.tiling.width}x{hierarchy.tiling.height} "
+        f"(r={args.r}, MAX={args.max_level}), {args.moves} moves, "
+        f"evader at {evader.region}"
+    )
+    print(render_grid_world(hierarchy, snapshot, evader.region))
+    print(render_path(hierarchy, snapshot))
+    print(render_pointer_stats(snapshot))
+    print(f"move work: {accountant.move_work:.0f} "
+          f"({accountant.move_work / max(1, args.moves):.1f} per move)")
+    for info in finds:
+        print(f"find from {tuple(info['origin'])} (d={info['distance']}): "
+              f"work {info['work']:.0f}, latency {info['latency']:.1f}")
     return 0
 
 
@@ -211,6 +284,16 @@ def cmd_find(args) -> int:
         args.r, args.max_level, distances, seed=args.seed, finds_per_distance=4
     )
     pairs = mean_find_work_by_distance(results)
+    if args.json:
+        _emit("find", {
+            "r": args.r,
+            "max_level": args.max_level,
+            "seed": args.seed,
+            "sweep": [
+                {"distance": d, "mean_find_work": w} for d, w in pairs
+            ],
+        })
+        return 0
     print(render_table(
         ["d", "mean find work"], pairs,
         title=f"find cost by distance (r={args.r}, MAX={args.max_level})",
@@ -231,7 +314,7 @@ def cmd_chaos(args) -> int:
         duration=args.duration,
     )
     if args.json:
-        payload = {
+        _emit("chaos", {
             "system": result.system,
             "loss_rate": result.loss_rate,
             "crash_rate": result.crash_rate,
@@ -245,8 +328,7 @@ def cmd_chaos(args) -> int:
             "reconsistency_time": result.reconsistency_time,
             "work_overhead": result.work_overhead,
             "fault_events": result.fault_events,
-        }
-        print(json.dumps(payload))
+        })
         return 0
     print(
         f"chaos: system={result.system} r={args.r} MAX={args.max_level} "
@@ -281,7 +363,12 @@ def cmd_report(args) -> int:
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(text)
-        print(f"wrote {args.out}", file=sys.stderr)
+        if args.json:
+            _emit("report", {"out": args.out, "length": len(text)})
+        else:
+            print(f"wrote {args.out}", file=sys.stderr)
+    elif args.json:
+        _emit("report", {"out": None, "length": len(text), "report": text})
     else:
         print(text)
     return 0
@@ -295,8 +382,13 @@ def _report_obs(args) -> int:
     payload = run_obs_probe(stride=args.obs_stride)
     if args.out:
         write_obs_artifact(args.out, payload)
+        if args.json:
+            _emit("report", {"out": args.out, "obs": payload})
+            return 0
         print(render_obs_summary(payload))
         print(f"wrote {args.out}", file=sys.stderr)
+    elif args.json:
+        _emit("report", {"out": None, "obs": payload})
     else:
         print(json.dumps(payload, indent=2, sort_keys=True))
         print(render_obs_summary(payload), file=sys.stderr)
@@ -313,10 +405,24 @@ def cmd_validate(args) -> int:
     else:
         hierarchy = shared_grid_hierarchy(args.r, args.max_level)
         kind = "grid"
+    error: Optional[str] = None
     try:
         validate_hierarchy(hierarchy, proximity=not args.skip_proximity)
     except HierarchyValidationError as exc:
-        print(f"INVALID: {exc}")
+        error = str(exc)
+    if args.json:
+        _emit("validate", {
+            "kind": kind,
+            "r": args.r,
+            "max_level": args.max_level,
+            "regions": len(hierarchy.tiling.regions()),
+            "diameter": hierarchy.tiling.diameter(),
+            "valid": error is None,
+            "error": error,
+        })
+        return 0 if error is None else 1
+    if error is not None:
+        print(f"INVALID: {error}")
         return 1
     print(
         f"{kind} hierarchy r={args.r} MAX={args.max_level} "
@@ -344,6 +450,19 @@ def cmd_snapshot(args) -> int:
     )
     save(snapshot, args.out)
     meta = snapshot.meta
+    if args.json:
+        _emit("snapshot", {
+            "out": args.out,
+            "schema": meta.schema,
+            "sim_time": meta.sim_time,
+            "events_fired": meta.events_fired,
+            "payload_bytes": len(snapshot.payload),
+            "topo_keys": [
+                {"kind": k.kind, "r": k.r, "max_level": k.max_level}
+                for k in meta.topo_keys
+            ],
+        })
+        return 0
     print(
         f"wrote {args.out}: schema {meta.schema}, t={meta.sim_time:g}, "
         f"{meta.events_fired} events fired, "
@@ -377,7 +496,7 @@ def cmd_resume(args) -> int:
     fp = trace_fingerprint(scenario)
     finds = scenario.system.finds.records.values()
     if args.json:
-        print(json.dumps({
+        _emit("resume", {
             "resumed_from_t": snapshot.meta.sim_time,
             "ran_until": until,
             "sim_time": fp[0],
@@ -386,7 +505,7 @@ def cmd_resume(args) -> int:
             "trace_crc": fp[3],
             "evader_region": list(fp[4]) if fp[4] is not None else None,
             "finds_completed": sum(1 for r in finds if r.completed),
-        }))
+        })
         return 0
     print(
         f"resumed {args.path} from t={snapshot.meta.sim_time:g} to "
@@ -408,7 +527,7 @@ def cmd_bisect(args) -> int:
         window=args.window,
     )
     if args.json:
-        print(json.dumps(report.as_dict(), sort_keys=True))
+        _emit("bisect", report.as_dict())
         return 0
     print(f"bisect [{report.variant_a}] vs [{report.variant_b}]: {report.note}")
     if report.diverged:
@@ -445,7 +564,7 @@ def cmd_sharded(args) -> int:
         and sharded.exact_fingerprint == reference.exact_fingerprint
     )
     if args.json:
-        print(json.dumps({
+        _emit("sharded", {
             "shards": sharded.shards,
             "backend": sharded.backend,
             "events": sharded.events,
@@ -461,7 +580,7 @@ def cmd_sharded(args) -> int:
             "wall_s": sharded.wall_s,
             "barrier_wait_s": sharded.barrier_wait_s,
             "fault_events": sharded.fault_events,
-        }))
+        })
         return 0 if match else 1
     print(
         f"sharded: K={sharded.shards} backend={sharded.backend} "
@@ -486,6 +605,85 @@ def cmd_sharded(args) -> int:
     return 0 if match else 1
 
 
+def cmd_service(args) -> int:
+    from .scenario import ScenarioConfig
+    from .service import LoadGenerator, TrackingService
+    from .sim.sharded.core import _tiling_for
+
+    config = ScenarioConfig(
+        r=args.r,
+        max_level=args.max_level,
+        seed=args.seed,
+        shards=args.shards,
+        n_objects=args.objects,
+        find_clients=args.clients,
+    )
+    load = LoadGenerator(
+        tiling=_tiling_for(config),
+        n_objects=args.objects,
+        n_finds=args.finds,
+        find_clients=args.clients,
+        arrival=args.arrival,
+        rate=args.rate,
+        moves_per_object=args.moves_per_object,
+        deadline=args.deadline,
+    )
+    plain = TrackingService(config, engine="plain").run(load)
+    sharded = TrackingService(config, engine="sharded").run(load)
+    match = plain.canonical_fingerprint == sharded.canonical_fingerprint
+    if args.json:
+        _emit("service", {
+            "objects": args.objects,
+            "finds": args.finds,
+            "clients": args.clients,
+            "arrival": args.arrival,
+            "shards": sharded.shards,
+            "plain": {
+                "canonical_fingerprint": plain.canonical_fingerprint,
+                "events": plain.events,
+                "messages_sent": plain.messages_sent,
+                "metrics": plain.metrics,
+            },
+            "sharded": {
+                "canonical_fingerprint": sharded.canonical_fingerprint,
+                "events": sharded.events,
+                "messages_sent": sharded.messages_sent,
+                "windows": sharded.windows,
+                "cross_shard_messages": sharded.cross_shard_messages,
+                "metrics": sharded.metrics,
+            },
+            "fingerprint_match": match,
+        })
+        return 0 if match else 1
+    metrics = sharded.metrics
+    latency = metrics["latency"]
+    print(
+        f"service: M={args.objects} finds={args.finds} "
+        f"clients={args.clients} arrival={args.arrival} "
+        f"r={args.r} MAX={args.max_level} seed={args.seed} K={sharded.shards}"
+    )
+    print(
+        f"finds: {metrics['finds_completed']}/{metrics['finds_issued']} "
+        f"completed (rate {metrics['completion_rate']:.2f}), "
+        f"deadline misses {metrics['deadlines_missed']}/{metrics['deadlines_set']}"
+    )
+    if latency["p50"] is not None:
+        print(
+            f"latency: p50={latency['p50']:.1f} p95={latency['p95']:.1f} "
+            f"p99={latency['p99']:.1f} jitter={latency['jitter']:.2f}"
+        )
+    print(
+        f"throughput: {metrics['throughput_per_time']:.3f} finds/time, "
+        f"handovers {metrics['handovers_total']}"
+    )
+    print(
+        f"fingerprint: plain {plain.canonical_fingerprint} vs "
+        f"K={sharded.shards} {sharded.canonical_fingerprint} -> "
+        f"{'MATCH' if match else 'DIVERGED'}"
+    )
+    return 0 if match else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -498,6 +696,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "resume": cmd_resume,
         "bisect": cmd_bisect,
         "sharded": cmd_sharded,
+        "service": cmd_service,
     }
     return handlers[args.command](args)
 

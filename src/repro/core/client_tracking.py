@@ -13,11 +13,16 @@ Clients bridge the physical world and the VSA tracking structure:
 The grow/shrink messages carry the level-0 cluster itself as ``cid`` so
 that the level-0 process ends up with the self-pointer ``c0.c = c0``
 required of a tracking path terminus.
+
+Multi-object service (DESIGN.md §9): every input carries an
+``object_id`` (default 0 — the paper's single evader); presence is
+tracked per object, and a ``found`` broadcast is answered only by a
+client whose region currently hosts *that* object.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Set
 
 from ..geometry.regions import RegionId
 from ..hierarchy.hierarchy import ClusterHierarchy
@@ -31,9 +36,14 @@ FoundObserver = Callable[[int, RegionId, int], None]
 class TrackingClient(Client):
     """Client automaton running the VINESTALK client algorithm."""
 
+    #: Class-level fallback so clients pickled before the multi-object
+    #: service existed unpickle into working single-object clients.
+    _objects_here: Optional[Set[int]] = None
+
     def __init__(self, node_id: int, hierarchy: ClusterHierarchy, cgcast) -> None:
         super().__init__(node_id, hierarchy, cgcast)
-        self.evader_here = False
+        self.evader_here = False  # lane-0 presence (legacy name)
+        self._objects_here = set()  # extra object ids present here
         self.finds_issued = 0
         self.founds_output = 0
         # Static deployments pin a client to one region; a restarted
@@ -45,6 +55,8 @@ class TrackingClient(Client):
     def reset_state(self) -> None:
         super().reset_state()
         self.evader_here = False
+        if self._objects_here:
+            self._objects_here.clear()
 
     def on_restarted(self) -> None:
         if self.home_region is not None:
@@ -54,36 +66,60 @@ class TrackingClient(Client):
         """Observe every ``found`` output this client performs."""
         self._found_observers.append(observer)
 
+    def object_present(self, object_id: int) -> bool:
+        """Whether ``object_id`` is currently in this client's region."""
+        if object_id == 0:
+            return self.evader_here
+        objects = self._objects_here
+        return bool(objects) and object_id in objects
+
+    def _set_present(self, object_id: int, present: bool) -> None:
+        if object_id == 0:
+            self.evader_here = present
+            return
+        objects = self._objects_here
+        if objects is None:
+            objects = set()
+            self._objects_here = objects
+        if present:
+            objects.add(object_id)
+        else:
+            objects.discard(object_id)
+
     # ------------------------------------------------------------------
     # Evader inputs from the augmented GPS (§III)
     # ------------------------------------------------------------------
-    def input_move(self, region: RegionId) -> None:
-        """The evader just arrived in this client's region."""
+    def input_move(self, region: RegionId, object_id: int = 0) -> None:
+        """Tracked object ``object_id`` just arrived in this region."""
         if self.region is None or region != self.region:
             return  # stale notification (client moved away)
-        self.evader_here = True
-        self.ctob_send(Grow(cid=self.local_cluster()))
+        self._set_present(object_id, True)
+        self.ctob_send(Grow(cid=self.local_cluster(), object_id=object_id))
 
-    def input_left(self, region: RegionId) -> None:
-        """The evader just left this client's region."""
+    def input_left(self, region: RegionId, object_id: int = 0) -> None:
+        """Tracked object ``object_id`` just left this region."""
         if self.region is None or region != self.region:
             return
-        self.evader_here = False
-        self.ctob_send(Shrink(cid=self.local_cluster()))
+        self._set_present(object_id, False)
+        self.ctob_send(Shrink(cid=self.local_cluster(), object_id=object_id))
 
     # ------------------------------------------------------------------
     # Find requests from the environment (§V)
     # ------------------------------------------------------------------
-    def input_find(self, find_id: int) -> None:
-        """An external query: where is the evader?"""
+    def input_find(self, find_id: int, object_id: int = 0) -> None:
+        """An external query: where is object ``object_id``?"""
         self.finds_issued += 1
-        self.ctob_send(Find(cid=self.local_cluster(), find_id=find_id))
+        self.ctob_send(
+            Find(cid=self.local_cluster(), find_id=find_id, object_id=object_id)
+        )
 
     # ------------------------------------------------------------------
     # Found broadcasts from the local VSA
     # ------------------------------------------------------------------
     def on_message(self, message: TrackerMessage) -> None:
-        if isinstance(message, Found) and self.evader_here:
+        if isinstance(message, Found) and self.object_present(
+            getattr(message, "object_id", 0)
+        ):
             self.founds_output += 1
             self.trace("found-output", message.find_id)
             for observer in self._found_observers:

@@ -19,6 +19,10 @@ from ..sim.engine import Simulator
 from .messages import is_find_message
 
 
+class FindIdCollisionError(ValueError):
+    """A pre-assigned find id is already in use by another record."""
+
+
 @dataclass
 class FindRecord:
     """Lifecycle of one find operation."""
@@ -31,6 +35,11 @@ class FindRecord:
     found_region: Optional[RegionId] = None
     work: float = 0.0
     retries: int = 0
+    #: Which tracked object this find targets (DESIGN.md §9).
+    object_id: int = 0
+    #: Optional latency budget (relative to ``issued_at``); ``None``
+    #: means no deadline.
+    deadline: Optional[float] = None
 
     @property
     def completed(self) -> bool:
@@ -41,6 +50,19 @@ class FindRecord:
         if self.completed_at is None:
             return None
         return self.completed_at - self.issued_at
+
+    @property
+    def deadline_missed(self) -> bool:
+        """True when a deadline was set and the find did not beat it.
+
+        An uncompleted find with a deadline counts as missed — the
+        service-level miss rate must not improve by dropping queries.
+        """
+        if self.deadline is None:
+            return False
+        if self.completed_at is None:
+            return True
+        return (self.completed_at - self.issued_at) > self.deadline
 
 
 class FindCoordinator:
@@ -56,25 +78,39 @@ class FindCoordinator:
         origin: RegionId,
         evader_region: Optional[RegionId] = None,
         find_id: Optional[int] = None,
+        object_id: int = 0,
+        deadline: Optional[float] = None,
     ) -> int:
         """Allocate a find id for a query issued at ``origin``.
 
-        A pre-assigned ``find_id`` (sharded workloads use globally
-        unique script-order ids) bypasses local allocation; the local
-        counter skips past it so the two schemes never collide.
+        A pre-assigned ``find_id`` (sharded/service workloads use
+        globally unique script-order ids) bypasses local allocation.
+        The two schemes may interleave arbitrarily: local allocation
+        skips over any id already taken (a pre-assigned id *below* the
+        counter would otherwise be handed out a second time), and a
+        pre-assigned id colliding with an existing record raises
+        :class:`FindIdCollisionError` rather than silently overwriting
+        bookkeeping.
         """
         if find_id is None:
             find_id = self._next_id
-            self._next_id += 1
+            while find_id in self.records:
+                find_id += 1
+            self._next_id = find_id + 1
         else:
             if find_id in self.records:
-                raise ValueError(f"find id {find_id} already in use")
-            self._next_id = max(self._next_id, find_id + 1)
+                raise FindIdCollisionError(
+                    f"find id {find_id} already in use"
+                )
+            if find_id >= self._next_id:
+                self._next_id = find_id + 1
         self.records[find_id] = FindRecord(
             find_id=find_id,
             origin=origin,
             issued_at=self.sim.now,
             evader_region_at_issue=evader_region,
+            object_id=object_id,
+            deadline=deadline,
         )
         return find_id
 
@@ -88,13 +124,20 @@ class FindCoordinator:
         record.found_region = region
 
     def observe_send(self, record: SendRecord) -> None:
-        """C-gcast observer: attribute find-message work to its find."""
+        """C-gcast observer: attribute find-message work to its find.
+
+        Every send carrying the find's id counts, including the
+        ``found`` relays after the first client response: completion is
+        only known to the one shard that saw the responding client, so
+        gating on it would make per-find work depend on the shard
+        layout rather than on the (K-invariant) send set.
+        """
         payload = record.payload
         if not is_find_message(payload):
             return
         find_id = getattr(payload, "find_id", 0)
         find = self.records.get(find_id)
-        if find is not None and not find.completed:
+        if find is not None:
             find.work += record.cost
 
     # -- results -----------------------------------------------------------
@@ -108,3 +151,11 @@ class FindCoordinator:
         if not self.records:
             return 1.0
         return len(self.completed_records()) / len(self.records)
+
+    def records_for(self, object_id: int) -> List[FindRecord]:
+        """All records targeting one tracked object (script order)."""
+        return [
+            r
+            for r in self.records.values()
+            if getattr(r, "object_id", 0) == object_id
+        ]

@@ -20,10 +20,16 @@ from .messages import Grow, Shrink
 
 
 class InvariantMonitor:
-    """Continuously checks Lemma 4.1/4.2 on a running VINESTALK system."""
+    """Continuously checks Lemma 4.1/4.2 on a running VINESTALK system.
 
-    def __init__(self, system) -> None:
+    In a multi-object deployment every tracking lane is an independent
+    instance of the lemmas; ``object_id`` selects which lane this
+    monitor counts (messages and pointers of other lanes are ignored).
+    """
+
+    def __init__(self, system, object_id: int = 0) -> None:
         self.system = system
+        self.object_id = object_id
         self.max_grow_outstanding = 0
         self.max_shrink_outstanding = 0
         self.violations: List[str] = []
@@ -36,36 +42,43 @@ class InvariantMonitor:
     # ------------------------------------------------------------------
     # Counting (Lemma 4.1)
     # ------------------------------------------------------------------
+    def _lane_pointers(self, tracker) -> Tuple:
+        return tracker.pointer_state(self.object_id)
+
     def grow_outstanding(self) -> int:
         """Cluster grow messages in transit + pending-grow processes."""
+        object_id = self.object_id
         in_transit = sum(
             1
             for src, _dest, payload, _t in self.system.cgcast.in_transit()
-            if isinstance(payload, Grow) and isinstance(src, ClusterId)
+            if isinstance(payload, Grow)
+            and isinstance(src, ClusterId)
+            and getattr(payload, "object_id", 0) == object_id
         )
-        pending = sum(
-            1
-            for tracker in self.system.trackers.values()
-            if tracker.c is not None
-            and tracker.p is None
-            and tracker.lvl != self.system.hierarchy.max_level
-        )
+        max_level = self.system.hierarchy.max_level
+        pending = 0
+        for tracker in self.system.trackers.values():
+            c, p, _up, _down = self._lane_pointers(tracker)
+            if c is not None and p is None and tracker.lvl != max_level:
+                pending += 1
         return in_transit + pending
 
     def shrink_outstanding(self) -> int:
         """Cluster shrink messages in transit + pending-shrink processes."""
+        object_id = self.object_id
         in_transit = sum(
             1
             for src, _dest, payload, _t in self.system.cgcast.in_transit()
-            if isinstance(payload, Shrink) and isinstance(src, ClusterId)
+            if isinstance(payload, Shrink)
+            and isinstance(src, ClusterId)
+            and getattr(payload, "object_id", 0) == object_id
         )
-        pending = sum(
-            1
-            for tracker in self.system.trackers.values()
-            if tracker.c is None
-            and tracker.p is not None
-            and tracker.lvl != self.system.hierarchy.max_level
-        )
+        max_level = self.system.hierarchy.max_level
+        pending = 0
+        for tracker in self.system.trackers.values():
+            c, p, _up, _down = self._lane_pointers(tracker)
+            if c is None and p is not None and tracker.lvl != max_level:
+                pending += 1
         return in_transit + pending
 
     # ------------------------------------------------------------------
@@ -77,9 +90,13 @@ class InvariantMonitor:
             return self
         self._watching = True
         self.system.sim.trace.subscribe(self._on_record)
-        if self.system.evader is not None:
-            self.system.evader.observe(self._on_evader)
-            self._observed_evader = self.system.evader
+        finder = getattr(self.system, "object_evader", None)
+        evader = (
+            finder(self.object_id) if finder is not None else self.system.evader
+        )
+        if evader is not None:
+            evader.observe(self._on_evader)
+            self._observed_evader = evader
         return self
 
     def stop(self) -> None:
@@ -103,7 +120,13 @@ class InvariantMonitor:
 
     def _on_record(self, record) -> None:
         if record.kind == "grow-sent":
-            _par, mode = record.detail
+            # Lane 0 records are (par, mode); extra lanes append their
+            # object id as a third element.
+            detail = record.detail
+            mode = detail[1]
+            record_object = detail[2] if len(detail) > 2 else 0
+            if record_object != self.object_id:
+                mode = None
             if mode == "lateral":
                 level = int(record.source.split(":")[1])
                 key = (self._epoch, level)

@@ -6,11 +6,18 @@ Find-phase messages additionally carry a ``find_id`` — a bookkeeping tag
 used by the experiment harness to attribute work and latency to
 individual find operations; it does not influence the algorithm
 (DESIGN.md §3).
+
+Every message also carries an ``object_id`` selecting which of the
+hierarchy's independent tracking paths it belongs to (DESIGN.md §9).
+The default ``0`` is the single-evader lane of the original paper; the
+field defaults keep messages pickled before the multi-object service
+existed unpicklable-compatible (missing instance attributes fall back
+to the class attribute the dataclass default installs).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Optional
 
 from ..hierarchy.cluster import ClusterId
@@ -30,71 +37,93 @@ class TrackerMessage:
     def kind(self) -> str:
         return self._kind
 
+    def __repr__(self) -> str:
+        # ``object_id=0`` (the single-evader lane of the original
+        # paper) renders in the legacy pre-service form: trace lines
+        # and their pinned fingerprints are built from these reprs, and
+        # lane-0 runs must stay bit-identical to the seed engine.
+        parts = []
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "object_id" and value == 0:
+                continue
+            parts.append(f"{f.name}={value!r}")
+        return f"{type(self).__name__}({', '.join(parts)})"
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, repr=False)
 class Grow(TrackerMessage):
     """Extend the tracking path: ``cid`` is the sender (new child)."""
 
     cid: ClusterId
+    object_id: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, repr=False)
 class GrowNbr(TrackerMessage):
     """Sender ``cid`` joined the path via a lateral link (sets nbrptdown)."""
 
     cid: ClusterId
+    object_id: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, repr=False)
 class GrowPar(TrackerMessage):
     """Sender ``cid`` joined the path via its hierarchy parent (sets nbrptup)."""
 
     cid: ClusterId
+    object_id: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, repr=False)
 class Shrink(TrackerMessage):
     """Remove deadwood: sender ``cid`` asks its path parent to drop it."""
 
     cid: ClusterId
+    object_id: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, repr=False)
 class ShrinkUpd(TrackerMessage):
     """Sender ``cid`` left the path; neighbors clear secondary pointers."""
 
     cid: ClusterId
+    object_id: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, repr=False)
 class Find(TrackerMessage):
     """A find operation in flight; ``cid`` is the forwarding process."""
 
     cid: Optional[ClusterId]
     find_id: int = 0
+    object_id: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, repr=False)
 class FindQuery(TrackerMessage):
     """Search-phase neighbor query from process ``cid``."""
 
     cid: ClusterId
     find_id: int = 0
+    object_id: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, repr=False)
 class FindAck(TrackerMessage):
     """Answer to a findQuery: ``pointer`` leads toward the tracking path."""
 
     pointer: ClusterId
     find_id: int = 0
+    object_id: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, repr=False)
 class Found(TrackerMessage):
     """Tracing finished at the evader's region."""
 
     find_id: int = 0
+    object_id: int = 0
 
 
 # Kinds whose in-transit presence violates a consistent state (§IV-C).

@@ -83,29 +83,38 @@ class SystemSnapshot:
         return [m for m in self.in_transit if isinstance(m.payload, types)]
 
 
-def capture_snapshot(system) -> SystemSnapshot:
+def capture_snapshot(system, object_id: int = 0) -> SystemSnapshot:
     """Capture the current tracking state of a VINESTALK system.
 
     Includes every Tracker's pointers, its queued ``sendq`` entries, and
     all move messages in transit in C-gcast.  Find-phase messages are
     excluded: the §IV-C state space covers only the tracking structure.
 
+    In a multi-object deployment each lane is an independent instance
+    of the §IV-C state space; ``object_id`` selects which lane's
+    pointers and messages are captured (messages of other lanes are
+    invisible to this snapshot, exactly as find messages are).
+
     Args:
         system: A :class:`~repro.core.vinestalk.VineStalk` instance.
+        object_id: Which tracking lane to capture (default: lane 0).
     """
     pointers: Dict[ClusterId, PointerState] = {}
     in_transit: List[TransitMessage] = []
     for tracker in system.trackers.values():
-        pointers[tracker.clust] = PointerState(
-            tracker.c, tracker.p, tracker.nbrptup, tracker.nbrptdown
-        )
+        pointers[tracker.clust] = PointerState(*tracker.pointer_state(object_id))
         for dest, payload in tracker.sendq:
-            if is_move_message(payload):
+            if (
+                is_move_message(payload)
+                and getattr(payload, "object_id", 0) == object_id
+            ):
                 in_transit.append(TransitMessage(tracker.clust, dest, payload))
     for src, dest, payload, _time in system.cgcast.in_transit():
         if isinstance(dest, tuple):  # client broadcast, not a cluster message
             continue
         if not isinstance(payload, TrackerMessage) or not is_move_message(payload):
+            continue
+        if getattr(payload, "object_id", 0) != object_id:
             continue
         src_cluster = src if isinstance(src, ClusterId) else None
         in_transit.append(TransitMessage(src_cluster, dest, payload))

@@ -17,11 +17,26 @@ in favour of the prose / ``lookAhead`` semantics — see DESIGN.md §3:
 TIOA urgency ("stops when any precondition is satisfied") is realised
 by the executor draining :meth:`enabled_outputs` after every input and
 wakeup.
+
+Multi-object lanes (DESIGN.md §9)
+---------------------------------
+One Tracker hosts one *lane* of Fig. 2 state per tracked object.  Lane
+``0`` — the single evader of the original paper — lives directly in the
+tracker's own attributes (``self.c``, ``self.timer``, ...), so the
+single-object execution is bit-identical to the pre-service code.
+Additional lanes are :class:`ObjectLane` records created on demand when
+the first message for that ``object_id`` arrives.  Per-lane grow/shrink
+and neighbor-timeout deadlines are *batched*: every extra lane's
+:class:`LaneDeadline` rides one shared wheel :class:`Timer`, armed at
+the minimum outstanding deadline, so a tracker schedules O(1) executor
+wakeups regardless of how many objects route through it.  ``sendq`` and
+``findAckq`` stay shared FIFOs (messages carry their ``object_id``), so
+lateral-link maintenance traffic is batched across lanes too.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from ..hierarchy.cluster import ClusterId
 from ..hierarchy.hierarchy import ClusterHierarchy
@@ -35,7 +50,7 @@ from ..obs.events import (
 )
 from ..tioa.actions import Action
 from ..tioa.automaton import TimedAutomaton
-from ..tioa.timers import Timer
+from ..tioa.timers import INFINITY, Timer
 from .messages import (
     Find,
     FindAck,
@@ -62,6 +77,81 @@ _FOUND_SEND = Action.output("found_send")
 _FINDQUERY = Action.internal("findquery")
 
 
+class LaneDeadline:
+    """A per-lane deadline riding its tracker's shared wheel timer.
+
+    Duck-typed to the :class:`~repro.tioa.timers.Timer` surface the
+    Fig. 2 logic reads (``deadline``/``armed``/``expired``/``arm``/
+    ``disarm``) but owns no executor event: arming or disarming simply
+    re-evaluates the tracker's wheel, which is the single real timer
+    for all extra lanes.
+    """
+
+    __slots__ = ("_tracker", "deadline")
+
+    def __init__(self, tracker: "Tracker") -> None:
+        self._tracker = tracker
+        self.deadline: float = INFINITY
+
+    @property
+    def armed(self) -> bool:
+        return self.deadline != INFINITY
+
+    def expired(self) -> bool:
+        return self.deadline != INFINITY and self._tracker.now >= self.deadline
+
+    def arm(self, deadline: float) -> None:
+        if deadline < self._tracker.now:
+            raise ValueError(
+                f"lane deadline {deadline} is in the past "
+                f"(now={self._tracker.now})"
+            )
+        self.deadline = deadline
+        self._tracker._rearm_wheel()
+
+    def disarm(self) -> None:
+        if self.deadline != INFINITY:
+            self.deadline = INFINITY
+            self._tracker._rearm_wheel()
+
+
+class ObjectLane:
+    """Fig. 2 per-object state for one extra tracked object (§9)."""
+
+    __slots__ = (
+        "object_id",
+        "c",
+        "p",
+        "nbrptup",
+        "nbrptdown",
+        "finding",
+        "find_id",
+        "timer",
+        "nbrtimeout",
+        "ackptr",
+        "timeout_due",
+    )
+
+    def __init__(self, object_id: int, tracker: "Tracker") -> None:
+        self.object_id = object_id
+        self.c: Optional[ClusterId] = BOTTOM
+        self.p: Optional[ClusterId] = BOTTOM
+        self.nbrptup: Optional[ClusterId] = BOTTOM
+        self.nbrptdown: Optional[ClusterId] = BOTTOM
+        self.finding = False
+        self.find_id = 0
+        self.timer = LaneDeadline(tracker)
+        self.nbrtimeout = LaneDeadline(tracker)
+        # Deterministic ack arbitration (extra lanes only): qualifying
+        # FindAck pointers are *recorded* here — canonical minimum, not
+        # first-arrival — and acted on once, at the wheel wakeup after
+        # every same-instant delivery.  Arrival order of simultaneous
+        # acks (which a partitioned run cannot reproduce) then never
+        # affects the forward destination.
+        self.ackptr: Optional[ClusterId] = None
+        self.timeout_due = False
+
+
 class Tracker(TimedAutomaton):
     """Cluster process ``clust = cluster(u, lvl)`` with ``h(clust) = u``.
 
@@ -73,6 +163,15 @@ class Tracker(TimedAutomaton):
         delta: Broadcast delay ``δ`` (for the find neighbor timeout).
         e: Emulation lag ``e`` (same).
     """
+
+    #: Lane-0 object id; also makes ``self`` usable wherever an
+    #: :class:`ObjectLane` is expected.
+    object_id = 0
+    #: Class-level fallbacks so trackers pickled before multi-object
+    #: lanes existed unpickle into working single-lane trackers.
+    _lanes: Optional[Dict[int, ObjectLane]] = None
+    _lane_order = None
+    _lane_wheel: Optional[Timer] = None
 
     def __init__(
         self,
@@ -96,19 +195,23 @@ class Tracker(TimedAutomaton):
         self.nbr_clusters: List[ClusterId] = hierarchy.nbrs(clust)
         self.parent_cluster: Optional[ClusterId] = hierarchy.parent(clust)
 
-        # --- Fig. 2 state variables -----------------------------------
+        # --- Fig. 2 state variables (lane 0) ---------------------------
         self.c: Optional[ClusterId] = BOTTOM
         self.p: Optional[ClusterId] = BOTTOM
         self.nbrptup: Optional[ClusterId] = BOTTOM
         self.nbrptdown: Optional[ClusterId] = BOTTOM
         self.sendq: List[tuple] = []  # (dest, TrackerMessage), FIFO
         self.timer = Timer(self, "timer")
-        # --- find-related state ----------------------------------------
+        # --- find-related state (lane 0) -------------------------------
         self.nbrtimeout = Timer(self, "nbrtimeout")
         self.findAckq: List[tuple] = []  # (dest, FindAck)
         self.finding = False
         self.find_id = 0  # bookkeeping tag of the find in service
         self._recv_handlers: dict = {}  # message kind → bound _recv_* method
+        # --- extra object lanes (created on demand) --------------------
+        self._lanes = {}
+        self._lane_order = None
+        self._lane_wheel = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -124,10 +227,110 @@ class Tracker(TimedAutomaton):
         self.findAckq = []
         self.finding = False
         self.find_id = 0
+        if self._lanes:
+            self._lanes.clear()
+        self._lane_order = None
+        wheel = self._lane_wheel
+        if wheel is not None:
+            wheel.disarm()
 
     def on_failed(self) -> None:
         self.timer.disarm()
         self.nbrtimeout.disarm()
+        wheel = self._lane_wheel
+        if wheel is not None:
+            wheel.disarm()
+
+    def on_wakeup(self, tag=None) -> None:
+        if tag != "lane-wheel":
+            return
+        # Mark every lane whose find roundtrip is over: the drain that
+        # follows forwards each one to its best recorded ack pointer or
+        # escalates.  The flag (rather than reading the deadline in
+        # enabled_outputs) keeps the decision at this single point —
+        # after all same-instant deliveries, per the wheel's priority.
+        lanes = self._lanes
+        if lanes:
+            now = self.now
+            for lane in lanes.values():
+                if lane.finding and lane.nbrtimeout.armed \
+                        and lane.nbrtimeout.deadline <= now:
+                    lane.timeout_due = True
+        # Hand the wheel on to the next future deadline: a drain whose
+        # effects touch no LaneDeadline (a lone find escalation, say)
+        # would otherwise leave the wheel dead with live deadlines
+        # pending.
+        self._rearm_wheel()
+
+    # ------------------------------------------------------------------
+    # Object lanes
+    # ------------------------------------------------------------------
+    def lane(self, object_id: int):
+        """The lane for ``object_id`` (``self`` for lane 0), creating it."""
+        if object_id == 0:
+            return self
+        lanes = self._lanes
+        if lanes is None:
+            lanes = {}
+            self._lanes = lanes
+        lane = lanes.get(object_id)
+        if lane is None:
+            lane = ObjectLane(object_id, self)
+            lanes[object_id] = lane
+            self._lane_order = None
+        return lane
+
+    def object_ids(self) -> tuple:
+        """Object ids with lane state at this tracker (lane 0 always)."""
+        lanes = self._lanes
+        if not lanes:
+            return (0,)
+        return (0,) + tuple(sorted(lanes))
+
+    def _rearm_wheel(self) -> None:
+        """Re-arm the shared wheel at the minimum *future* lane deadline.
+
+        Deadlines at or before ``now`` never need a wakeup: a deadline
+        due this instant is handled by the drain already in progress
+        (every ``_rearm_wheel`` call site runs inside input processing
+        or an output effect, both followed by a drain), and a deadline
+        left armed in the past is unactionable by pure time passage
+        (e.g. ``output_find_forward`` clears ``finding`` but per Fig. 2
+        leaves ``nbrtimeout`` set).  Arming at such values would spin
+        the wheel on no-op wakeups.
+        """
+        nxt = INFINITY
+        now = self.now
+        lanes = self._lanes
+        if lanes:
+            for lane in lanes.values():
+                d = lane.timer.deadline
+                if now < d < nxt:
+                    nxt = d
+                d = lane.nbrtimeout.deadline
+                if now < d < nxt:
+                    nxt = d
+        wheel = self._lane_wheel
+        if nxt == INFINITY:
+            if wheel is not None:
+                wheel.disarm()
+            return
+        if wheel is None:
+            # priority=1: re-arming gives the wheel a fresh event-queue
+            # sequence number, so on a deadline/message-delivery tie its
+            # heap position would depend on *when* unrelated lane
+            # activity last re-armed it — an order a partitioned run
+            # cannot reproduce.  Such ties are structural, not rare: the
+            # find timeout is armed at exactly the worst-case query
+            # roundtrip 2(δ+e)n, which with deterministic delays is the
+            # very instant the FindAcks land.  Firing *after* every
+            # same-instant delivery is the one re-arm-invariant (hence
+            # K-invariant) order, and it lets the wakeup arbitrate the
+            # roundtrip with the complete ack set in hand (see
+            # ``ObjectLane.ackptr``).
+            wheel = Timer(self, "lane-wheel", priority=1)
+            self._lane_wheel = wheel
+        wheel.arm(nxt)
 
     # ------------------------------------------------------------------
     # Helpers
@@ -158,10 +361,13 @@ class Tracker(TimedAutomaton):
                 raise TypeError(f"{self.name}: unhandled message {message!r}")
             self._recv_handlers[kind] = handler
         self.trace("rcv", message)
-        handler(message)
+        # getattr: extension message types (e.g. heartbeats) may not
+        # carry an object_id; they belong to lane 0.
+        object_id = getattr(message, "object_id", 0)
+        handler(message, self if object_id == 0 else self.lane(object_id))
 
     # --- move-related receipts -----------------------------------------
-    def _recv_grow(self, message: Grow) -> None:
+    def _recv_grow(self, message: Grow, lane) -> None:
         """Grow receipt: adopt the sender as child; maybe schedule a grow.
 
         Per §IV-B.1 prose (and lookAhead): ``c`` is always updated; the
@@ -169,68 +375,99 @@ class Tracker(TimedAutomaton):
         otherwise the grow timer is armed — but never re-armed, so a
         pending grow keeps its original deadline.
         """
-        was_bottom = self.c is BOTTOM
-        self.c = message.cid
-        if was_bottom and self.p is BOTTOM and self.lvl != self.max_level:
-            self.timer.arm(self.now + self.schedule.g(self.lvl))
+        was_bottom = lane.c is BOTTOM
+        lane.c = message.cid
+        if was_bottom and lane.p is BOTTOM and self.lvl != self.max_level:
+            lane.timer.arm(self.now + self.schedule.g(self.lvl))
 
-    def _recv_growpar(self, message: GrowPar) -> None:
-        self.nbrptup = message.cid
+    def _recv_growpar(self, message: GrowPar, lane) -> None:
+        lane.nbrptup = message.cid
 
-    def _recv_grownbr(self, message: GrowNbr) -> None:
-        self.nbrptdown = message.cid
+    def _recv_grownbr(self, message: GrowNbr, lane) -> None:
+        lane.nbrptdown = message.cid
 
-    def _recv_shrink(self, message: Shrink) -> None:
+    def _recv_shrink(self, message: Shrink, lane) -> None:
         """Shrink receipt: drop deadwood child; maybe schedule a shrink.
 
         Only a ``c`` still pointing at the sender is cleared (a newer
         grow may have repointed it); the shrink timer is armed only when
         ``p ≠ ⊥`` (DESIGN.md §3.2).
         """
-        if self.c == message.cid:
-            self.c = BOTTOM
-            if self.lvl != self.max_level and self.p is not BOTTOM:
-                self.timer.arm(self.now + self.schedule.s(self.lvl))
+        if lane.c == message.cid:
+            lane.c = BOTTOM
+            if self.lvl != self.max_level and lane.p is not BOTTOM:
+                lane.timer.arm(self.now + self.schedule.s(self.lvl))
 
-    def _recv_shrinkupd(self, message: ShrinkUpd) -> None:
-        if self.nbrptup == message.cid:
-            self.nbrptup = BOTTOM
-        if self.nbrptdown == message.cid:
-            self.nbrptdown = BOTTOM
+    def _recv_shrinkupd(self, message: ShrinkUpd, lane) -> None:
+        if lane.nbrptup == message.cid:
+            lane.nbrptup = BOTTOM
+        if lane.nbrptdown == message.cid:
+            lane.nbrptdown = BOTTOM
 
     # --- find-related receipts ------------------------------------------
-    def _recv_find(self, message: Find) -> None:
-        self.finding = True
-        self.find_id = message.find_id
-        self.nbrtimeout.disarm()  # nbrtimeout ← ∞
+    def _recv_find(self, message: Find, lane) -> None:
+        lane.finding = True
+        lane.find_id = message.find_id
+        lane.nbrtimeout.disarm()  # nbrtimeout ← ∞
+        if lane is not self:
+            lane.ackptr = None
+            lane.timeout_due = False
 
-    def _recv_findquery(self, message: FindQuery) -> None:
+    def _recv_findquery(self, message: FindQuery, lane) -> None:
         reply: Optional[ClusterId] = None
-        if self.c is not BOTTOM:
-            reply = self.c
-        elif self.nbrptdown is not BOTTOM:
-            reply = self.nbrptdown
-        elif self.nbrptup is not BOTTOM:
-            reply = self.nbrptup
+        if lane.c is not BOTTOM:
+            reply = lane.c
+        elif lane.nbrptdown is not BOTTOM:
+            reply = lane.nbrptdown
+        elif lane.nbrptup is not BOTTOM:
+            reply = lane.nbrptup
         if reply is not None:
             self.findAckq.append(
-                (message.cid, FindAck(pointer=reply, find_id=message.find_id))
+                (
+                    message.cid,
+                    FindAck(
+                        pointer=reply,
+                        find_id=message.find_id,
+                        object_id=message.object_id,
+                    ),
+                )
             )
 
-    def _recv_findack(self, message: FindAck) -> None:
-        if (
-            self.finding
+    def _recv_findack(self, message: FindAck, lane) -> None:
+        if not (
+            lane.finding
             and message.pointer != self.clust
-            and self.c is BOTTOM
-            and self.nbrptdown is BOTTOM
-            and self.nbrptup in (BOTTOM, self.p)
+            and lane.c is BOTTOM
+            and lane.nbrptdown is BOTTOM
+            and lane.nbrptup in (BOTTOM, lane.p)
         ):
-            self.sendq.append(
-                (message.pointer, Find(cid=self.clust, find_id=message.find_id))
+            return
+        if lane is not self:
+            # Extra lanes: with deterministic delays the acks of one
+            # query land at the very instant nbrtimeout expires, and
+            # acks of a superseded query may land mid-find — both are
+            # arrival-order races a partitioned run cannot reproduce.
+            # Record the canonically smallest fresh pointer instead;
+            # the wheel wakeup (after all same-instant deliveries)
+            # forwards to it, or escalates when no ack qualified.
+            if message.find_id != lane.find_id:
+                return
+            if lane.ackptr is None or str(message.pointer) < str(lane.ackptr):
+                lane.ackptr = message.pointer
+            return
+        self.sendq.append(
+            (
+                message.pointer,
+                Find(
+                    cid=self.clust,
+                    find_id=message.find_id,
+                    object_id=message.object_id,
+                ),
             )
-            self.finding = False
+        )
+        lane.finding = False
 
-    def _recv_found(self, message: Found) -> None:
+    def _recv_found(self, message: Found, lane) -> None:
         """A neighboring level-0 process announced found: relay to clients.
 
         Fig. 2 queues ``found`` to level-0 neighbors; §V says clients in
@@ -244,59 +481,99 @@ class Tracker(TimedAutomaton):
     # Locally controlled actions
     # ------------------------------------------------------------------
     def enabled_outputs(self) -> List[Action]:
-        """Enabled outputs, in deterministic precedence order."""
+        """Enabled outputs, in deterministic precedence order.
+
+        Shared FIFOs first (they batch traffic for every lane), then
+        lane 0 — exactly the pre-service order, so single-object runs
+        are bit-identical — then extra lanes in ascending object id.
+        """
         if self.sendq:
             return [_SENDQ_HEAD]
         if self.findAckq:
             return [_FINDACKQ_HEAD]
-        if self.timer.expired():
-            # Grow send: now = timer ∧ c ≠ ⊥ ∧ p = ⊥.
-            if self.c is not BOTTOM and self.p is BOTTOM:
-                return [_GROW_SEND]
-            # Shrink send: now = timer ∧ c = ⊥ ∧ p ≠ ⊥.
-            if self.c is BOTTOM and self.p is not BOTTOM:
-                return [_SHRINK_SEND]
-            # Timer fired but neither grow nor shrink is enabled (the
-            # pointer it guarded was changed in flight): disarm lazily.
-            self.timer.disarm()
-        if self.finding:
-            found_or_forward = self._find_progress_action()
-            if found_or_forward is not None:
-                return [found_or_forward]
+        action = self._lane_enabled(self)
+        if action is not None:
+            return [action]
+        lanes = self._lanes
+        if lanes:
+            order = self._lane_order
+            if order is None:
+                order = self._lane_order = tuple(sorted(lanes))
+            for object_id in order:
+                action = self._lane_enabled(lanes[object_id])
+                if action is not None:
+                    return [action]
         return []
 
-    def _find_progress_action(self) -> Optional[Action]:
-        """The enabled find-related action, if any (Fig. 2 find section)."""
-        # found: finding ∧ c = clust.
-        if self.c == self.clust:
-            return _FOUND_SEND
-        # find forward: tracing via c, or searching via pointers/timeout.
-        dest = self._find_forward_dest()
-        if dest is not None:
-            return Action.output("find_forward", dest=dest)
-        # findquery: c = nbrptdown = ⊥ ∧ nbrptup ∈ {⊥, p} ∧ no query outstanding.
-        if (
-            self.c is BOTTOM
-            and self.nbrptdown is BOTTOM
-            and self.nbrptup in (BOTTOM, self.p)
-            and self.nbrtimeout.deadline > self.now + self._query_roundtrip()
-        ):
-            return _FINDQUERY
+    def _lane_enabled(self, lane) -> Optional[Action]:
+        """The enabled lane-local action, if any (Fig. 2, one lane)."""
+        if lane.timer.expired():
+            # Grow send: now = timer ∧ c ≠ ⊥ ∧ p = ⊥.
+            if lane.c is not BOTTOM and lane.p is BOTTOM:
+                if lane is self:
+                    return _GROW_SEND
+                return Action.output("grow_send", object_id=lane.object_id)
+            # Shrink send: now = timer ∧ c = ⊥ ∧ p ≠ ⊥.
+            if lane.c is BOTTOM and lane.p is not BOTTOM:
+                if lane is self:
+                    return _SHRINK_SEND
+                return Action.output("shrink_send", object_id=lane.object_id)
+            # Timer fired but neither grow nor shrink is enabled (the
+            # pointer it guarded was changed in flight): disarm lazily.
+            lane.timer.disarm()
+        if lane.finding:
+            return self._find_progress_action(lane)
         return None
 
-    def _find_forward_dest(self) -> Optional[ClusterId]:
+    def _find_progress_action(self, lane) -> Optional[Action]:
+        """The enabled find-related action, if any (Fig. 2 find section)."""
+        # found: finding ∧ c = clust.
+        if lane.c == self.clust:
+            if lane is self:
+                return _FOUND_SEND
+            return Action.output("found_send", object_id=lane.object_id)
+        # find forward: tracing via c, or searching via pointers/timeout.
+        dest = self._find_forward_dest(lane)
+        if dest is not None:
+            if lane is self:
+                return Action.output("find_forward", dest=dest)
+            return Action.output(
+                "find_forward", dest=dest, object_id=lane.object_id
+            )
+        # findquery: c = nbrptdown = ⊥ ∧ nbrptup ∈ {⊥, p} ∧ no query outstanding.
+        if (
+            lane.c is BOTTOM
+            and lane.nbrptdown is BOTTOM
+            and lane.nbrptup in (BOTTOM, lane.p)
+            and lane.nbrtimeout.deadline > self.now + self._query_roundtrip()
+        ):
+            if lane is self:
+                return _FINDQUERY
+            return Action.internal("findquery", object_id=lane.object_id)
+        return None
+
+    def _find_forward_dest(self, lane) -> Optional[ClusterId]:
         """Destination satisfying the Fig. 2 find-forward precondition."""
-        if self.c not in (BOTTOM, self.clust):
-            return self.c  # tracing
-        if self.c is BOTTOM and self.nbrptdown is not BOTTOM:
-            return self.nbrptdown
-        if self.c is BOTTOM and self.nbrptdown is BOTTOM:
-            if self.nbrptup is not BOTTOM and self.nbrptup != self.p:
-                return self.nbrptup
-            if self.nbrtimeout.armed and self.nbrtimeout.deadline <= self.now:
-                if self.nbrptup is BOTTOM:
+        if lane.c not in (BOTTOM, self.clust):
+            return lane.c  # tracing
+        if lane.c is BOTTOM and lane.nbrptdown is not BOTTOM:
+            return lane.nbrptdown
+        if lane.c is BOTTOM and lane.nbrptdown is BOTTOM:
+            if lane.nbrptup is not BOTTOM and lane.nbrptup != lane.p:
+                return lane.nbrptup
+            if lane is not self:
+                # Extra lanes decide exactly once, when the wheel has
+                # marked the roundtrip over: best recorded ack pointer,
+                # else escalate (mirrors the lane-0 tie outcome below —
+                # its timeout event also precedes same-instant acks).
+                if not lane.timeout_due:
+                    return None
+                if lane.ackptr is not None and lane.ackptr != self.clust:
+                    return lane.ackptr
+            if lane.nbrtimeout.armed and lane.nbrtimeout.deadline <= self.now:
+                if lane.nbrptup is BOTTOM:
                     return self.parent_cluster  # None at MAX: no forward
-                return self.nbrptup
+                return lane.nbrptup
         return None
 
     def _query_roundtrip(self) -> float:
@@ -312,64 +589,100 @@ class Tracker(TimedAutomaton):
         dest, message = self.findAckq.pop(0)
         self._send(dest, message)
 
-    def output_grow_send(self) -> None:
+    def output_grow_send(self, object_id: int = 0) -> None:
         """cTOBsend(⟨grow, clust⟩, par): join the path and extend it."""
-        self.timer.disarm()
-        if self.nbrptup is not BOTTOM:
-            par = self.nbrptup
+        lane = self.lane(object_id)
+        lane.timer.disarm()
+        if lane.nbrptup is not BOTTOM:
+            par = lane.nbrptup
             lateral = True
         else:
             par = self.parent_cluster
             lateral = False
         assert par is not None, "grow timer armed at MAX level"
-        self.p = par
-        self._send(par, Grow(cid=self.clust))
-        update = GrowNbr(cid=self.clust) if lateral else GrowPar(cid=self.clust)
+        lane.p = par
+        self._send(par, Grow(cid=self.clust, object_id=object_id))
+        update = (
+            GrowNbr(cid=self.clust, object_id=object_id)
+            if lateral
+            else GrowPar(cid=self.clust, object_id=object_id)
+        )
         self._queue_to_nbrs(update)
-        self.trace("grow-sent", (par, "lateral" if lateral else "vertical"))
+        # Lane 0 keeps the exact legacy detail shape (bit-identity);
+        # extra lanes append their object id so per-object monitors can
+        # attribute lateral sends.
+        mode = "lateral" if lateral else "vertical"
+        detail = (par, mode) if object_id == 0 else (par, mode, object_id)
+        self.trace("grow-sent", detail)
         if _OBS.events_enabled:
-            _OBS.emit(GrowSent(self.now, self.clust, self.lvl, par, lateral))
+            _OBS.emit(
+                GrowSent(
+                    self.now, self.clust, self.lvl, par, lateral,
+                    object_id=object_id,
+                )
+            )
 
-    def output_shrink_send(self) -> None:
+    def output_shrink_send(self, object_id: int = 0) -> None:
         """cTOBsend(⟨shrink, clust⟩, p): leave the path, clean secondaries."""
-        self.timer.disarm()
-        par = self.p
-        self.p = BOTTOM
-        self._send(par, Shrink(cid=self.clust))
-        self._queue_to_nbrs(ShrinkUpd(cid=self.clust))
+        lane = self.lane(object_id)
+        lane.timer.disarm()
+        par = lane.p
+        lane.p = BOTTOM
+        self._send(par, Shrink(cid=self.clust, object_id=object_id))
+        self._queue_to_nbrs(ShrinkUpd(cid=self.clust, object_id=object_id))
         self.trace("shrink-sent", par)
         if _OBS.events_enabled:
-            _OBS.emit(ShrinkSent(self.now, self.clust, self.lvl, par))
+            _OBS.emit(
+                ShrinkSent(self.now, self.clust, self.lvl, par, object_id=object_id)
+            )
 
-    def output_found_send(self) -> None:
+    def output_found_send(self, object_id: int = 0) -> None:
         """cTOBsend(⟨found, clust⟩, clust): announce at the evader's region."""
-        found = Found(find_id=self.find_id)
+        lane = self.lane(object_id)
+        found = Found(find_id=lane.find_id, object_id=object_id)
         self.cgcast.send_to_clients(self.clust, found)
         for nbr in self.nbr_clusters:
             self.sendq.append((nbr, found))
-        self.finding = False
-        self.trace("found", self.find_id)
+        lane.finding = False
+        self.trace("found", lane.find_id)
         if _OBS.events_enabled:
-            _OBS.emit(FoundAnnounced(self.now, self.clust, self.find_id))
+            _OBS.emit(
+                FoundAnnounced(self.now, self.clust, lane.find_id, object_id=object_id)
+            )
 
-    def output_find_forward(self, dest: ClusterId) -> None:
-        self.finding = False
-        self._send(dest, Find(cid=self.clust, find_id=self.find_id))
+    def output_find_forward(self, dest: ClusterId, object_id: int = 0) -> None:
+        lane = self.lane(object_id)
+        lane.finding = False
+        self._send(dest, Find(cid=self.clust, find_id=lane.find_id, object_id=object_id))
         self.trace("find-forward", dest)
         if _OBS.events_enabled:
-            _OBS.emit(FindForwarded(self.now, self.clust, self.lvl, dest))
+            _OBS.emit(
+                FindForwarded(self.now, self.clust, self.lvl, dest, object_id=object_id)
+            )
 
-    def internal_findquery(self) -> None:
-        self.nbrtimeout.arm(self.now + self._query_roundtrip())
-        query = FindQuery(cid=self.clust, find_id=self.find_id)
-        self._queue_to_nbrs(query, exclude=self.p)
-        self.trace("findquery", self.find_id)
+    def internal_findquery(self, object_id: int = 0) -> None:
+        lane = self.lane(object_id)
+        lane.nbrtimeout.arm(self.now + self._query_roundtrip())
+        query = FindQuery(cid=self.clust, find_id=lane.find_id, object_id=object_id)
+        self._queue_to_nbrs(query, exclude=lane.p)
+        self.trace("findquery", lane.find_id)
         if _OBS.events_enabled:
-            _OBS.emit(FindQueryIssued(self.now, self.clust, self.lvl, self.find_id))
+            _OBS.emit(
+                FindQueryIssued(
+                    self.now, self.clust, self.lvl, lane.find_id,
+                    object_id=object_id,
+                )
+            )
 
     # ------------------------------------------------------------------
     # Introspection for verification tooling
     # ------------------------------------------------------------------
-    def pointer_state(self) -> tuple:
-        """``(c, p, nbrptup, nbrptdown)`` snapshot."""
-        return (self.c, self.p, self.nbrptup, self.nbrptdown)
+    def pointer_state(self, object_id: int = 0) -> tuple:
+        """``(c, p, nbrptup, nbrptdown)`` snapshot for one lane."""
+        if object_id == 0:
+            return (self.c, self.p, self.nbrptup, self.nbrptdown)
+        lanes = self._lanes
+        lane = lanes.get(object_id) if lanes else None
+        if lane is None:
+            return (BOTTOM, BOTTOM, BOTTOM, BOTTOM)
+        return (lane.c, lane.p, lane.nbrptup, lane.nbrptdown)

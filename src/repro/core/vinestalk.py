@@ -55,6 +55,10 @@ class VineStalk:
     #: Class-level fallback so checkpoints pickled before the sharding
     #: hooks existed unpickle into a working (unhooked) deployment.
     client_filter = None
+    #: Class-level fallback so checkpoints pickled before the
+    #: multi-object service existed unpickle into single-object systems
+    #: (``self.evader`` keeps working; ``objects`` is rebuilt lazily).
+    objects = None
 
     def __init__(
         self,
@@ -117,6 +121,9 @@ class VineStalk:
             client.on_found(self.finds.client_found)
 
         self.evader: Optional[Evader] = None
+        #: All tracked objects by id; ``objects[0] is evader`` when the
+        #: legacy single evader is attached (DESIGN.md §9).
+        self.objects: Dict[int, Evader] = {}
         self.moves_observed = 0
         #: Optional GPS-staleness hook (repro.faults): ``(event, region)
         #: -> extra delay``.  When None or 0.0, augmented-GPS delivery
@@ -148,20 +155,64 @@ class VineStalk:
         dwell: float,
         rng=None,
         start: Optional[RegionId] = None,
+        object_id: int = 0,
     ) -> Evader:
         """Create, attach and place an evader (emits the first ``move``)."""
-        evader = Evader(self.sim, self.hierarchy.tiling, model, dwell, rng=rng)
-        self.attach_evader(evader)
+        name = "evader" if object_id == 0 else f"evader:{object_id}"
+        evader = Evader(
+            self.sim,
+            self.hierarchy.tiling,
+            model,
+            dwell,
+            rng=rng,
+            name=name,
+            object_id=object_id,
+        )
+        self.attach_object(object_id, evader)
         evader.enter(start)
         return evader
 
     def attach_evader(self, evader: Evader) -> None:
-        if self.evader is not None:
-            raise RuntimeError("an evader is already attached")
-        self.evader = evader
-        evader.observe(self._evader_event)
+        """Attach the legacy single evader (object id 0)."""
+        self.attach_object(0, evader)
 
-    def _evader_event(self, event: str, region: RegionId) -> None:
+    def attach_object(self, object_id: int, evader: Evader) -> None:
+        """Attach one tracked object to lane ``object_id``."""
+        objects = self.objects
+        if objects is None:
+            objects = {}
+            self.objects = objects
+        if object_id in objects or (object_id == 0 and self.evader is not None):
+            raise RuntimeError(
+                f"an evader is already attached for object {object_id}"
+            )
+        objects[object_id] = evader
+        if object_id == 0:
+            self.evader = evader
+            # Bound-method observer, exactly as the pre-service code
+            # registered it (single-object runs stay bit-identical).
+            evader.observe(self._evader_event)
+        else:
+            evader.observe(
+                lambda event, region, _oid=object_id: self._evader_event(
+                    event, region, _oid
+                )
+            )
+
+    def object_evader(self, object_id: int) -> Optional[Evader]:
+        """The evader attached to lane ``object_id``, if any."""
+        objects = self.objects
+        if objects:
+            found = objects.get(object_id)
+            if found is not None:
+                return found
+        if object_id == 0:
+            return self.evader
+        return None
+
+    def _evader_event(
+        self, event: str, region: RegionId, object_id: int = 0
+    ) -> None:
         """Augmented GPS: deliver move/left to the region's clients (§III).
 
         Delivery is synchronous — client local steps take no time, and
@@ -176,18 +227,26 @@ class VineStalk:
             if extra > 0.0:
                 self.sim.call_after(
                     extra,
-                    lambda: self._deliver_evader_event(event, region),
+                    lambda: self._deliver_evader_event(event, region, object_id),
                     tag="gps-stale",
                 )
                 return
-        self._deliver_evader_event(event, region)
+        self._deliver_evader_event(event, region, object_id)
 
-    def _deliver_evader_event(self, event: str, region: RegionId) -> None:
+    def _deliver_evader_event(
+        self, event: str, region: RegionId, object_id: int = 0
+    ) -> None:
         if self.client_filter is not None and not self.client_filter(region):
             return
         client = self.clients.get(region)
         if client is not None and not client.failed:
-            client.handle_input(Action.input(event, region=region))
+            if object_id == 0:
+                # Payload identical to the pre-service code: lane-0
+                # traces/fingerprints stay bit-identical.
+                action = Action.input(event, region=region)
+            else:
+                action = Action.input(event, region=region, object_id=object_id)
+            client.handle_input(action)
             self.network.executor.kick(client)
 
     # ------------------------------------------------------------------
@@ -199,6 +258,8 @@ class VineStalk:
         retry_after: Optional[float] = None,
         max_retries: int = 3,
         find_id: Optional[int] = None,
+        object_id: int = 0,
+        deadline: Optional[float] = None,
     ) -> int:
         """Inject a find request at ``origin``'s client; returns the find id.
 
@@ -212,19 +273,42 @@ class VineStalk:
             find_id: Pre-assigned global id (sharded workloads assign
                 ids in script order so shards never collide); defaults
                 to the coordinator's own allocation.
+            object_id: Which tracked object the query targets (§9).
+            deadline: Optional latency budget recorded on the find.
         """
         client = self.clients[origin]
-        evader_region = self.evader.region if self.evader is not None else None
-        find_id = self.finds.new_find(origin, evader_region, find_id=find_id)
+        target = self.object_evader(object_id)
+        evader_region = target.region if target is not None else None
+        find_id = self.finds.new_find(
+            origin,
+            evader_region,
+            find_id=find_id,
+            object_id=object_id,
+            deadline=deadline,
+        )
         self.network.executor.deliver(
-            client, Action.input("find", find_id=find_id)
+            client, self._find_action(find_id, object_id)
         )
         if retry_after is not None:
-            self._schedule_find_retry(origin, find_id, retry_after, max_retries)
+            self._schedule_find_retry(
+                origin, find_id, retry_after, max_retries, object_id
+            )
         return find_id
 
+    @staticmethod
+    def _find_action(find_id: int, object_id: int) -> Action:
+        if object_id == 0:
+            # Payload identical to the pre-service code (bit-identity).
+            return Action.input("find", find_id=find_id)
+        return Action.input("find", find_id=find_id, object_id=object_id)
+
     def _schedule_find_retry(
-        self, origin: RegionId, find_id: int, retry_after: float, retries_left: int
+        self,
+        origin: RegionId,
+        find_id: int,
+        retry_after: float,
+        retries_left: int,
+        object_id: int = 0,
     ) -> None:
         if retries_left <= 0:
             return
@@ -236,11 +320,11 @@ class VineStalk:
             client = self.clients[origin]
             if not client.failed:
                 self.network.executor.deliver(
-                    client, Action.input("find", find_id=find_id)
+                    client, self._find_action(find_id, object_id)
                 )
                 record.retries += 1
             self._schedule_find_retry(
-                origin, find_id, retry_after, retries_left - 1
+                origin, find_id, retry_after, retries_left - 1, object_id
             )
 
         self.sim.call_after(retry_after, retry, tag=f"find-retry:{find_id}")

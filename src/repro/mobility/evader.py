@@ -31,11 +31,16 @@ class Evader:
         dwell: Time spent in a region between relocations.
         rng: Random stream for the model.
         name: Trace name.
+        object_id: Tracking-lane id in a multi-object deployment
+            (DESIGN.md §9); ``0`` is the paper's single evader.
 
     The evader is created *outside* the space; call :meth:`enter` to
     place it (emitting the first ``move``), then :meth:`start` to begin
     periodic relocations, or drive single steps with :meth:`step`.
     """
+
+    #: Class-level fallback for evaders pickled before multi-object.
+    object_id = 0
 
     def __init__(
         self,
@@ -45,6 +50,7 @@ class Evader:
         dwell: float,
         rng: Optional[random.Random] = None,
         name: str = "evader",
+        object_id: int = 0,
     ) -> None:
         if dwell <= 0:
             raise ValueError("dwell must be positive")
@@ -54,6 +60,7 @@ class Evader:
         self.dwell = dwell
         self.rng = rng if rng is not None else random.Random(0)
         self.name = name
+        self.object_id = object_id
         self.region: Optional[RegionId] = None
         self.moves_made = 0
         self.distance_traveled = 0

@@ -58,6 +58,9 @@ class ConformanceSampler:
             Lemma 4.2 GrowSent feed; defaults to the active one.
         max_recorded: Violation records kept on the sampler (counts
             stay exact past the cap).
+        object_id: Which tracking lane the checks cover (DESIGN.md §9).
+            Every lane is an independent instance of the §IV-C state
+            space; attach one sampler per object to check them all.
 
     Lifecycle: :meth:`attach` installs the after-event hook and evader
     observer; :meth:`detach` runs a final check and removes both.  The
@@ -72,15 +75,18 @@ class ConformanceSampler:
         strict: bool = True,
         collector: Optional[Any] = None,
         max_recorded: int = 64,
+        object_id: int = 0,
     ) -> None:
         if stride < 1:
             raise ValueError("stride must be >= 1")
         self.system = system
         self.stride = int(stride)
         self.strict = strict
+        self.object_id = object_id
         self.collector = collector if collector is not None else OBS.collector
         self.max_recorded = max_recorded
-        self.monitor = InvariantMonitor(system)  # counting only, not watched
+        # Counting only, not watched; scoped to this sampler's lane.
+        self.monitor = InvariantMonitor(system, object_id=object_id)
         self.checks_run: Dict[str, int] = {check: 0 for check in CHECKS}
         self.violation_counts: Dict[str, int] = {check: 0 for check in CHECKS}
         self.violations: List[ConformanceViolation] = []
@@ -103,7 +109,10 @@ class ConformanceSampler:
         if self._attached:
             return self
         self._attached = True
-        evader = self.system.evader
+        finder = getattr(self.system, "object_evader", None)
+        evader = (
+            finder(self.object_id) if finder is not None else self.system.evader
+        )
         if evader is not None and evader.region is not None:
             self._evader = evader
             self._atomic = init_state(self._hierarchy, evader.region)
@@ -150,8 +159,13 @@ class ConformanceSampler:
                 self._violate("theorem-4.8", f"atomic model error: {exc}")
 
     def _on_obs_event(self, event: Any) -> None:
-        # Lemma 4.2: a lateral grow at most once per level per move epoch.
-        if type(event) is GrowSent and event.lateral:
+        # Lemma 4.2: a lateral grow at most once per level per move epoch
+        # (per lane: other objects' grows belong to other samplers).
+        if (
+            type(event) is GrowSent
+            and event.lateral
+            and getattr(event, "object_id", 0) == self.object_id
+        ):
             self.checks_run["lemma-4.2"] += 1
             key = (self._epoch, event.level)
             count = self._lateral_counts.get(key, 0) + 1
@@ -181,7 +195,7 @@ class ConformanceSampler:
         if self._atomic is None:
             return
         self.checks_run["theorem-4.8"] += 1
-        snapshot = capture_snapshot(self.system)
+        snapshot = capture_snapshot(self.system, object_id=self.object_id)
         try:
             future = look_ahead(snapshot, self._hierarchy, strict=self.strict)
         except LookAheadError as exc:
@@ -217,6 +231,7 @@ class ConformanceSampler:
         return {
             "stride": self.stride,
             "strict": self.strict,
+            "object_id": self.object_id,
             "checks_run": dict(self.checks_run),
             "violation_counts": dict(self.violation_counts),
             "violations_total": self.total_violations(),

@@ -21,7 +21,8 @@ from typing import Any, ClassVar, Dict, Tuple
 
 #: Version stamp carried by every exported event dict.  Bump when any
 #: event's fields change shape.
-OBS_EVENT_SCHEMA = 1
+#: 2: path/find events gained a trailing ``object_id`` (DESIGN.md §9).
+OBS_EVENT_SCHEMA = 2
 
 
 @dataclass(frozen=True)
@@ -34,6 +35,7 @@ class GrowSent:
     level: int
     parent: Any
     lateral: bool
+    object_id: int = 0
 
 
 @dataclass(frozen=True)
@@ -45,6 +47,7 @@ class ShrinkSent:
     cluster: Any
     level: int
     parent: Any
+    object_id: int = 0
 
 
 @dataclass(frozen=True)
@@ -55,6 +58,7 @@ class FoundAnnounced:
     time: float
     cluster: Any
     find_id: int
+    object_id: int = 0
 
 
 @dataclass(frozen=True)
@@ -66,6 +70,7 @@ class FindForwarded:
     cluster: Any
     level: int
     dest: Any
+    object_id: int = 0
 
 
 @dataclass(frozen=True)
@@ -77,6 +82,7 @@ class FindQueryIssued:
     cluster: Any
     level: int
     find_id: int
+    object_id: int = 0
 
 
 @dataclass(frozen=True)

@@ -87,6 +87,12 @@ class ScenarioConfig:
             instead of the armed rule's sequential stream, so the draw
             for a given message is independent of global dispatch order
             — required for cross-K determinism under sharding.
+        n_objects: Service scenarios: how many independent tracked
+            objects (M) the workload drives.  ``build`` constructs the
+            same world either way — lanes materialize on first use
+            (DESIGN.md §9); this knob parameterizes load generation.
+        find_clients: Service scenarios: how many distinct client
+            origin regions the load generator draws finds from.
     """
 
     r: int = 3
@@ -107,6 +113,8 @@ class ScenarioConfig:
     resume_from: Optional[Any] = None
     shards: int = 1
     stable_fault_draws: bool = False
+    n_objects: int = 1
+    find_clients: int = 4
 
     def __post_init__(self) -> None:
         if isinstance(self.system, str):
@@ -121,6 +129,12 @@ class ScenarioConfig:
             raise TypeError("fault_plan must be a FaultPlan")
         if self.shards < 1:
             raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.n_objects < 1:
+            raise ValueError(f"n_objects must be >= 1, got {self.n_objects}")
+        if self.find_clients < 1:
+            raise ValueError(
+                f"find_clients must be >= 1, got {self.find_clients}"
+            )
 
     def __setstate__(self, state: Dict[str, Any]) -> None:
         # Pickles written before a field existed (e.g. ckpt/1 snapshots

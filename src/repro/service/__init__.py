@@ -1,0 +1,30 @@
+"""Multi-object tracking as a service (``repro.service``, DESIGN.md §9).
+
+One cluster hierarchy hosts M independent tracking lanes; this package
+adds the service front-end on top:
+
+* :class:`~repro.service.load.LoadGenerator` — an open-loop workload
+  (Poisson / burst / uniform find arrivals over K client origins, M
+  roaming objects) implementing the unified
+  :class:`~repro.workload.Workload` protocol;
+* :class:`~repro.service.service.TrackingService` — admits a workload
+  against either engine (``plain`` single-loop or ``sharded`` PDES) and
+  returns a :class:`~repro.service.service.ServiceRunResult` with
+  per-find records, per-object handover counts and latency metrics;
+* :mod:`~repro.service.harness` — the ``BENCH_service.json``
+  (``bench-service/1``) generator gated by
+  ``benchmarks/check_bench_service.py`` in CI.
+"""
+
+from .load import ARRIVALS, LoadGenerator
+from .metrics import latency_percentiles, service_metrics
+from .service import ServiceRunResult, TrackingService
+
+__all__ = [
+    "ARRIVALS",
+    "LoadGenerator",
+    "ServiceRunResult",
+    "TrackingService",
+    "latency_percentiles",
+    "service_metrics",
+]

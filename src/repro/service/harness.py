@@ -1,0 +1,156 @@
+"""BENCH_service.json generator (schema ``bench-service/1``).
+
+Runs a set of service scenarios — each one LoadGenerator workload
+executed on **both** engines (plain reference and K-sharded PDES) —
+and emits one JSON artifact with per-engine latency percentiles,
+jitter, throughput, deadline-miss rate and per-object handover counts,
+plus the cross-engine fingerprint verdict.
+
+``benchmarks/check_bench_service.py`` gates the artifact in CI (the
+``smoke-service`` job runs ``--quick``); the committed
+``BENCH_service.json`` carries the full M=100 × 1000-find scenario.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.service.harness [--quick] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from typing import Any, Dict, List, Optional
+
+SCHEMA = "bench-service/1"
+
+#: The full scenario set: at least one M>=100 x >=1000-find entry
+#: (the ISSUE acceptance floor) plus a burst-arrival stress shape.
+FULL_SCENARIOS = (
+    {
+        "name": "m100-poisson-1000",
+        "r": 3, "max_level": 2, "seed": 7, "shards": 2,
+        "n_objects": 100, "n_finds": 1000, "find_clients": 16,
+        "arrival": "poisson", "rate": 4.0,
+        "moves_per_object": 2, "dwell": 40.0, "deadline": 60.0,
+    },
+    {
+        "name": "m8-burst-120",
+        "r": 3, "max_level": 2, "seed": 11, "shards": 3,
+        "n_objects": 8, "n_finds": 120, "find_clients": 8,
+        "arrival": "burst", "burst_size": 12, "burst_gap": 50.0,
+        "moves_per_object": 3, "dwell": 40.0, "deadline": 40.0,
+    },
+)
+
+#: CI smoke set: same shapes, small enough for the <=60s budget.
+QUICK_SCENARIOS = (
+    {
+        "name": "m6-poisson-40",
+        "r": 2, "max_level": 2, "seed": 7, "shards": 2,
+        "n_objects": 6, "n_finds": 40, "find_clients": 4,
+        "arrival": "poisson", "rate": 1.0,
+        "moves_per_object": 2, "dwell": 40.0, "deadline": 60.0,
+    },
+)
+
+
+def run_scenario(spec: Dict[str, Any]) -> Dict[str, Any]:
+    """Run one scenario spec on both engines and compare fingerprints."""
+    from ..scenario import ScenarioConfig
+    from ..sim.sharded.core import _tiling_for
+    from .load import LoadGenerator
+    from .service import TrackingService
+
+    config = ScenarioConfig(
+        r=spec["r"],
+        max_level=spec["max_level"],
+        seed=spec["seed"],
+        shards=spec["shards"],
+        n_objects=spec["n_objects"],
+        find_clients=spec["find_clients"],
+    )
+    load = LoadGenerator(
+        tiling=_tiling_for(config),
+        n_objects=spec["n_objects"],
+        n_finds=spec["n_finds"],
+        find_clients=spec["find_clients"],
+        arrival=spec["arrival"],
+        rate=spec.get("rate", 1.0),
+        burst_size=spec.get("burst_size", 8),
+        burst_gap=spec.get("burst_gap", 60.0),
+        moves_per_object=spec["moves_per_object"],
+        dwell=spec["dwell"],
+        deadline=spec.get("deadline"),
+    )
+    plain = TrackingService(config, engine="plain").run(load)
+    sharded = TrackingService(config, engine="sharded").run(load)
+
+    def engine_block(result) -> Dict[str, Any]:
+        return {
+            "engine": result.engine,
+            "shards": result.shards,
+            "backend": result.backend,
+            "events": result.events,
+            "messages_sent": result.messages_sent,
+            "windows": result.windows,
+            "cross_shard_messages": result.cross_shard_messages,
+            "canonical_fingerprint": result.canonical_fingerprint,
+            "now": result.now,
+            "wall_s": result.wall_s,
+            "metrics": result.metrics,
+        }
+
+    return {
+        "name": spec["name"],
+        "config": {k: v for k, v in spec.items() if k != "name"},
+        "plain": engine_block(plain),
+        "sharded": engine_block(sharded),
+        "fingerprint_match": (
+            plain.canonical_fingerprint == sharded.canonical_fingerprint
+        ),
+    }
+
+
+def run_service_bench(quick: bool = False) -> Dict[str, Any]:
+    """The full artifact payload."""
+    scenarios = QUICK_SCENARIOS if quick else FULL_SCENARIOS
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "host": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "scenarios": [run_scenario(dict(spec)) for spec in scenarios],
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description="generate BENCH_service.json")
+    parser.add_argument("--out", default="BENCH_service.json")
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small scenario set for the CI smoke job",
+    )
+    args = parser.parse_args(argv)
+    payload = run_service_bench(quick=args.quick)
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    for scenario in payload["scenarios"]:
+        verdict = "MATCH" if scenario["fingerprint_match"] else "DIVERGED"
+        metrics = scenario["sharded"]["metrics"]
+        print(
+            f"{scenario['name']}: {metrics['finds_completed']}/"
+            f"{metrics['finds_issued']} finds, "
+            f"p95={metrics['latency']['p95']}, fingerprints {verdict}",
+            file=sys.stderr,
+        )
+    print(f"wrote {args.out}", file=sys.stderr)
+    return 0 if all(s["fingerprint_match"] for s in payload["scenarios"]) else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -29,7 +29,9 @@ from dataclasses import dataclass
 from time import perf_counter
 from typing import Any, Dict, List, Optional, Tuple
 
+from ...core.messages import Grow
 from ...geometry.regions import RegionId
+from ...hierarchy.cluster import ClusterId
 from .plan import ShardPlan
 from .workload import ScriptedWorkload, schedule_workload
 
@@ -115,6 +117,10 @@ class ShardContext:
         self.busy_s = 0.0
         self.send_lines: List[str] = []
         self._exact_crc = 0
+        # object_id -> cluster-originated Grow dispatches (handovers).
+        # Each dispatch is observed in exactly one shard, so per-object
+        # sums across shards are exact and K-invariant.
+        self.handovers: Dict[int, int] = {}
         self.system.cgcast.observe(self._observe_send)
         sharded = plan.k > 1
         if sharded:
@@ -135,6 +141,10 @@ class ShardContext:
         line = canonical_send_line(record)
         self.send_lines.append(line)
         self._exact_crc = zlib.crc32(line.encode(), self._exact_crc)
+        payload = record.payload
+        if isinstance(payload, Grow) and isinstance(record.src, ClusterId):
+            oid = getattr(payload, "object_id", 0)
+            self.handovers[oid] = self.handovers.get(oid, 0) + 1
 
     def _route_cgcast(self, src, dest, dest_region, payload, deliver_time) -> bool:
         shard = self.plan.shard_of(dest_region)
@@ -221,6 +231,9 @@ class ShardContext:
         for record in self.system.finds.records.values():
             finds[record.find_id] = {
                 "origin": repr(record.origin),
+                "object_id": record.object_id,
+                "issued_at": record.issued_at,
+                "deadline": record.deadline,
                 "completed": record.completed,
                 "latency": record.latency,
                 "work": record.work,
@@ -242,5 +255,6 @@ class ShardContext:
             "send_lines": self.send_lines,
             "exact_crc": self._exact_crc,
             "finds": finds,
+            "handovers": dict(self.handovers),
             "fault_stats": stats.as_dict() if stats is not None else None,
         }

@@ -83,6 +83,11 @@ class ShardedRunResult:
     barrier_wait_s: float
     fault_events: Optional[Dict[str, int]]
     region_counts: tuple
+    #: find_id -> merged per-find record (origin repr, object_id,
+    #: issued_at, deadline, completed, latency, work, deadline_missed).
+    finds: Optional[Dict[int, dict]] = None
+    #: object_id -> cluster-originated Grow dispatches (handover count).
+    handovers: Optional[Dict[int, int]] = None
 
 
 def canonical_fingerprint(send_lines: List[str]) -> str:
@@ -186,9 +191,25 @@ class ShardedSimulator:
                     finds[find_id] = dict(info)
                 else:
                     merged["work"] += info["work"]
-                    if info["completed"] and not merged["completed"]:
-                        merged["completed"] = True
-                        merged["latency"] = info["latency"]
+                    if info["completed"]:
+                        # Clients in several regions (hence shards) may
+                        # respond; the service answer is the earliest
+                        # response anywhere — exactly what the plain
+                        # engine's first-response-wins rule records.
+                        if not merged["completed"]:
+                            merged["completed"] = True
+                            merged["latency"] = info["latency"]
+                        elif info["latency"] < merged["latency"]:
+                            merged["latency"] = info["latency"]
+        for info in finds.values():
+            deadline = info.get("deadline")
+            info["deadline_missed"] = deadline is not None and (
+                not info["completed"] or info["latency"] > deadline
+            )
+        handovers: Dict[int, int] = {}
+        for report in reports:
+            for oid, count in report.get("handovers", {}).items():
+                handovers[oid] = handovers.get(oid, 0) + count
         fault_events = None
         if reports[0]["fault_stats"] is not None:
             fault_events = dict(reports[0]["fault_stats"])
@@ -228,6 +249,8 @@ class ShardedSimulator:
             barrier_wait_s=max(0.0, wall - overlap),
             fault_events=fault_events,
             region_counts=tuple(self.plan.counts()),
+            finds=finds,
+            handovers=handovers,
         )
 
 

@@ -27,27 +27,37 @@ from ...geometry.regions import RegionId
 
 @dataclass(frozen=True)
 class EvaderEnter:
-    """Place the evader at ``region`` (emits the first ``move``)."""
+    """Place object ``object_id``'s evader at ``region`` (first ``move``)."""
 
     time: float
     region: RegionId
+    object_id: int = 0
 
 
 @dataclass(frozen=True)
 class EvaderStep:
-    """Move the evader to neighboring ``target``."""
+    """Move object ``object_id``'s evader to neighboring ``target``."""
 
     time: float
     target: RegionId
+    object_id: int = 0
 
 
 @dataclass(frozen=True)
 class IssueFind:
-    """Issue a find at ``origin``'s client with a pre-assigned id."""
+    """Issue a find at ``origin``'s client with a pre-assigned id.
+
+    ``object_id`` selects which tracked object the query targets;
+    ``deadline`` is an optional latency budget recorded on the find
+    (service-level miss-rate accounting — it does not affect the
+    protocol).
+    """
 
     time: float
     origin: RegionId
     find_id: int
+    object_id: int = 0
+    deadline: Optional[float] = None
 
 
 WorkloadAction = Union[EvaderEnter, EvaderStep, IssueFind]
@@ -67,11 +77,19 @@ class ScriptedWorkload:
     actions: Tuple[WorkloadAction, ...]
     horizon: float
 
+    def events(self, seed: int = 0) -> Tuple[WorkloadAction, ...]:
+        """Workload protocol: a script is its own (seed-free) stream."""
+        return self.actions
+
     def find_count(self) -> int:
         return sum(1 for a in self.actions if isinstance(a, IssueFind))
 
     def move_count(self) -> int:
         return sum(1 for a in self.actions if isinstance(a, EvaderStep))
+
+    def object_ids(self) -> Tuple[int, ...]:
+        """Distinct tracked-object ids this script drives, ascending."""
+        return tuple(sorted({getattr(a, "object_id", 0) for a in self.actions}))
 
 
 def make_walk_workload(
@@ -146,30 +164,45 @@ def schedule_workload(
     sim = system.sim
     tiling = system.hierarchy.tiling
 
-    def ensure_evader(region: RegionId) -> None:
-        if system.evader is None:
+    def evader_of(object_id: int):
+        finder = getattr(system, "object_evader", None)
+        if finder is not None:
+            return finder(object_id)
+        return system.evader if object_id == 0 else None
+
+    def ensure_evader(region: RegionId, object_id: int = 0) -> None:
+        evader = evader_of(object_id)
+        if evader is None:
             evader = Evader(
                 sim,
                 tiling,
                 RandomNeighborWalk(start=region),
                 dwell=1e18,  # scripted: the dwell timer never runs
                 rng=random.Random(0),
+                name="evader" if object_id == 0 else f"evader:{object_id}",
+                object_id=object_id,
             )
-            system.attach_evader(evader)
-        system.evader.enter(region)
+            attach = getattr(system, "attach_object", None)
+            if attach is not None:
+                attach(object_id, evader)
+            else:
+                system.attach_evader(evader)
+            evader.enter(region)
+        else:
+            evader.enter(region)
 
     scheduled = 0
     for action in workload.actions:
         if isinstance(action, EvaderEnter):
             sim.call_at(
                 action.time,
-                lambda a=action: ensure_evader(a.region),
+                lambda a=action: ensure_evader(a.region, a.object_id),
                 tag="workload:enter",
             )
         elif isinstance(action, EvaderStep):
             sim.call_at(
                 action.time,
-                lambda a=action: system.evader.move_to(a.target),
+                lambda a=action: evader_of(a.object_id).move_to(a.target),
                 tag="workload:move",
             )
         elif isinstance(action, IssueFind):
@@ -180,18 +213,25 @@ def schedule_workload(
                 # owned by any shard.  Register bookkeeping only — the
                 # find input itself is delivered in the owning shard.
                 def register(a=action) -> None:
-                    evader = system.evader
+                    evader = evader_of(a.object_id)
                     system.finds.new_find(
                         a.origin,
                         evader.region if evader is not None else None,
                         find_id=a.find_id,
+                        object_id=a.object_id,
+                        deadline=a.deadline,
                     )
 
                 sim.call_at(action.time, register, tag="workload:find-register")
             else:
                 sim.call_at(
                     action.time,
-                    lambda a=action: system.issue_find(a.origin, find_id=a.find_id),
+                    lambda a=action: system.issue_find(
+                        a.origin,
+                        find_id=a.find_id,
+                        object_id=a.object_id,
+                        deadline=a.deadline,
+                    ),
                     tag="workload:find",
                 )
         else:  # pragma: no cover - defensive

@@ -239,31 +239,36 @@ class StabilizingTracker(Tracker):
     # ------------------------------------------------------------------
     # Heartbeat receipts
     # ------------------------------------------------------------------
-    def _recv_heartbeat(self, message: Heartbeat) -> None:
+    def _recv_heartbeat(self, message: Heartbeat, lane) -> None:
         if self.c == message.cid:
             self.child_heard = self.now
             self._send(message.cid, HeartbeatAck(cid=self.clust))
         # A heartbeat from a non-child is stale traffic; ignoring it lets
         # the sender's parent-lease expire and detach it.
 
-    def _recv_heartbeatack(self, message: HeartbeatAck) -> None:
+    def _recv_heartbeatack(self, message: HeartbeatAck, lane) -> None:
         if self.p == message.cid:
             self.parent_heard = self.now
 
-    # Secondary announcements double as leases.
-    def _recv_growpar(self, message: GrowPar) -> None:
-        super()._recv_growpar(message)
-        self.nbrptup_heard = self.now
+    # Secondary announcements double as leases.  The heartbeat machinery
+    # stabilizes lane 0 (the paper's single-object protocol); extra
+    # service lanes only pass through the super() effects.
+    def _recv_growpar(self, message: GrowPar, lane) -> None:
+        super()._recv_growpar(message, lane)
+        if lane is self:
+            self.nbrptup_heard = self.now
 
-    def _recv_grownbr(self, message: GrowNbr) -> None:
-        super()._recv_grownbr(message)
-        self.nbrptdown_heard = self.now
+    def _recv_grownbr(self, message: GrowNbr, lane) -> None:
+        super()._recv_grownbr(message, lane)
+        if lane is self:
+            self.nbrptdown_heard = self.now
 
-    def _recv_grow(self, message: Grow) -> None:
-        super()._recv_grow(message)
-        self.child_heard = self.now
-        if self.lvl == 0 and message.cid == self.clust:
-            self.anchor_heard = self.now
+    def _recv_grow(self, message: Grow, lane) -> None:
+        super()._recv_grow(message, lane)
+        if lane is self:
+            self.child_heard = self.now
+            if self.lvl == 0 and message.cid == self.clust:
+                self.anchor_heard = self.now
 
     def pointer_repairs(self) -> int:
         return self.repairs

@@ -95,7 +95,13 @@ class Executor:
 
         return self.sim.call_after(delay, fire, priority=priority, tag=f"in:{target.name}")
 
-    def wake_at(self, target: TimedAutomaton, time: float, tag: Optional[str] = None) -> Event:
+    def wake_at(
+        self,
+        target: TimedAutomaton,
+        time: float,
+        tag: Optional[str] = None,
+        priority: int = 0,
+    ) -> Event:
         """Schedule ``target.on_wakeup(tag)`` at absolute ``time``."""
 
         def fire() -> None:
@@ -104,7 +110,7 @@ class Executor:
             target.on_wakeup(tag)
             self._drain(target)
 
-        return self.sim.call_at(time, fire, tag=f"wake:{target.name}")
+        return self.sim.call_at(time, fire, priority=priority, tag=f"wake:{target.name}")
 
     def kick(self, target: TimedAutomaton) -> None:
         """Drain any already-enabled actions of ``target`` right now."""

@@ -21,11 +21,24 @@ class Timer:
 
     Attributes:
         deadline: Current deadline (``math.inf`` when disarmed).
+
+    ``priority`` orders the wakeup against same-instant events: the
+    default 0 keeps insertion order (a wakeup armed before a message
+    was sent fires first on a tie), while 1 fires strictly after every
+    same-instant priority-0 event regardless of when the timer was
+    (re-)armed — the deterministic choice for timers that are re-armed
+    on unrelated activity, like the tracker's shared lane wheel (see
+    ``Tracker._rearm_wheel``).
     """
 
-    def __init__(self, owner: TimedAutomaton, tag: str) -> None:
+    #: Class-level fallback so timers pickled before the priority knob
+    #: existed unpickle into default-ordered timers.
+    _priority = 0
+
+    def __init__(self, owner: TimedAutomaton, tag: str, priority: int = 0) -> None:
         self._owner = owner
         self._tag = tag
+        self._priority = priority
         self._event = None
         self.deadline: float = INFINITY
 
@@ -46,7 +59,9 @@ class Timer:
                 f"(now={self._owner.now})"
             )
         self.deadline = deadline
-        self._event = self._owner.executor.wake_at(self._owner, deadline, tag=self._tag)
+        self._event = self._owner.executor.wake_at(
+            self._owner, deadline, tag=self._tag, priority=self._priority
+        )
 
     def arm_after(self, delay: float) -> None:
         self.arm(self._owner.now + delay)

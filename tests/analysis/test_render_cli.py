@@ -97,6 +97,78 @@ class TestCli:
             main(["frobnicate"])
 
 
+class TestJsonEnvelope:
+    """Every subcommand speaks the one repro-cli/1 envelope."""
+
+    def unwrap(self, capsys, command):
+        import json
+
+        from repro.cli import CLI_SCHEMA
+
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["schema"] == CLI_SCHEMA
+        assert envelope["command"] == command
+        return envelope["data"]
+
+    def test_every_subcommand_has_the_json_flag(self):
+        from repro.cli import _build_parser
+
+        parser = _build_parser()
+        subactions = parser._subparsers._group_actions[0]
+        for name, subparser in subactions.choices.items():
+            assert any(
+                action.dest == "json" for action in subparser._actions
+            ), f"{name} lacks --json"
+
+    def test_per_command_defaults_survive_shared_parents(self):
+        # Regression: a single shared parent parser plus per-subparser
+        # set_defaults silently gave every command the defaults of the
+        # subparser registered last (argparse parents share actions).
+        from repro.cli import _build_parser
+
+        parser = _build_parser()
+        demo = parser.parse_args(["demo"])
+        find = parser.parse_args(["find"])
+        sharded = parser.parse_args(["sharded"])
+        assert (demo.r, demo.max_level, demo.seed) == (3, 2, 7)
+        assert (find.r, find.max_level, find.seed) == (2, 4, 21)
+        assert (sharded.r, sharded.max_level, sharded.seed) == (2, 3, 11)
+
+    def test_validate_envelope(self, capsys):
+        assert main(["validate", "--r", "2", "--max-level", "2", "--json"]) == 0
+        data = self.unwrap(capsys, "validate")
+        assert data["valid"] is True
+        assert data["regions"] == 16
+
+    def test_validate_envelope_carries_failure(self, capsys, monkeypatch):
+        from repro.hierarchy import validation
+
+        def boom(*args, **kwargs):
+            raise validation.HierarchyValidationError("synthetic failure")
+
+        monkeypatch.setattr(validation, "validate_hierarchy", boom)
+        assert main(["validate", "--r", "2", "--max-level", "2", "--json"]) == 1
+        data = self.unwrap(capsys, "validate")
+        assert data["valid"] is False
+        assert "synthetic failure" in data["error"]
+
+    def test_demo_envelope(self, capsys):
+        assert main(["demo", "--r", "2", "--max-level", "2", "--moves", "2",
+                     "--finds", "1", "--seed", "3", "--json"]) == 0
+        data = self.unwrap(capsys, "demo")
+        assert data["moves"] == 2
+        assert len(data["finds"]) == 1
+        assert data["move_work"] > 0
+
+    def test_find_envelope(self, capsys):
+        assert main(["find", "--r", "2", "--max-level", "2", "--json"]) == 0
+        data = self.unwrap(capsys, "find")
+        assert data["sweep"]
+        assert all(
+            {"distance", "mean_find_work"} <= set(row) for row in data["sweep"]
+        )
+
+
 class TestReportModule:
     def test_section_builders_render_markdown(self):
         # e3 and e7 are the cheap ones; the rest are covered by the

@@ -2,7 +2,15 @@
 
 import json
 
-from repro.cli import main
+from repro.cli import CLI_SCHEMA, main
+
+
+def unwrap(raw: str, command: str) -> dict:
+    """Parse a ``--json`` envelope and return its ``data`` block."""
+    envelope = json.loads(raw)
+    assert envelope["schema"] == CLI_SCHEMA
+    assert envelope["command"] == command
+    return envelope["data"]
 
 
 class TestSnapshotResume:
@@ -21,9 +29,9 @@ class TestSnapshotResume:
         main(["snapshot", "--out", path, "--at", "12.5"])
         capsys.readouterr()
         main(["resume", path, "--json"])
-        first = json.loads(capsys.readouterr().out)
+        first = unwrap(capsys.readouterr().out, "resume")
         main(["resume", path, "--json"])
-        second = json.loads(capsys.readouterr().out)
+        second = unwrap(capsys.readouterr().out, "resume")
         assert first == second
         assert first["resumed_from_t"] == 12.5
         assert first["ran_until"] == 70.0  # from the note's moves=5
@@ -49,7 +57,7 @@ class TestBisect:
 
     def test_json_report(self, capsys):
         assert main(["bisect", "--a", "base", "--b", "seed:8", "--json"]) == 0
-        report = json.loads(capsys.readouterr().out)
+        report = unwrap(capsys.readouterr().out, "bisect")
         assert report["diverged"] is True
         assert isinstance(report["event_index"], int)
         assert report["variant_b"] == "seed:8"

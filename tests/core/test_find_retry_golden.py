@@ -102,8 +102,11 @@ class TestGoldenCosts:
         record = system.finds.records[find_id]
         # (3,4) holds nbrptdown=(3,3) (the lateral terminus), so the find
         # needs no neighbor queries: client find (1) + secondary-pointer
-        # forward n(0)=1 + found broadcast (1) + 8 found relays = 11.
-        assert record.work == 11.0
+        # forward n(0)=1 + found broadcast with its 8 first-hop relays
+        # (9) + 8 second-hop relays landing at the completion instant
+        # = 19.  Every find-tagged send counts, completed or not — the
+        # shard-invariant accounting of DESIGN.md section 9.
+        assert record.work == 19.0
         assert record.latency == 4.0
 
     def test_exact_settle_time_of_first_move(self):

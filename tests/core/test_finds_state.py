@@ -58,13 +58,17 @@ class TestFindCoordinator:
         )
         assert coordinator.records[fid].work == 3.0
 
-    def test_work_stops_accruing_after_completion(self, coordinator):
+    def test_work_accrues_after_completion(self, coordinator):
+        # The found relays after the first client response still count:
+        # completion is only known to the shard that saw the responding
+        # client, so gating on it would make per-find work depend on the
+        # shard layout instead of the K-invariant send set.
         fid = coordinator.new_find((0, 0))
         coordinator.client_found(fid, (1, 1), client_id=0)
         coordinator.observe_send(
             SendRecord(0.0, CID, CID, Found(find_id=fid), 2.0, 2.0)
         )
-        assert coordinator.records[fid].work == 0.0
+        assert coordinator.records[fid].work == 2.0
 
     def test_completion_rate(self, coordinator):
         a = coordinator.new_find((0, 0))
@@ -76,6 +80,43 @@ class TestFindCoordinator:
 
     def test_empty_coordinator_rate_is_one(self, coordinator):
         assert coordinator.completion_rate() == 1.0
+
+
+class TestFindIdPreassignment:
+    """Pre-assigned (scripted) ids interleaving with local allocation."""
+
+    @pytest.fixture()
+    def coordinator(self):
+        return FindCoordinator(Simulator())
+
+    def test_preassigned_id_advances_the_counter(self, coordinator):
+        assert coordinator.new_find((0, 0), find_id=5) == 5
+        assert coordinator.new_find((1, 1)) == 6
+
+    def test_local_allocation_skips_taken_ids(self, coordinator):
+        # A pre-assigned id *below* the counter must not be handed out
+        # a second time by the sequential allocator.
+        a = coordinator.new_find((0, 0))  # 1
+        coordinator.new_find((1, 1), find_id=2)
+        b = coordinator.new_find((2, 2))  # must skip 2
+        assert (a, b) == (1, 3)
+        assert len(coordinator.records) == 3
+
+    def test_preassigned_collision_raises(self, coordinator):
+        from repro.core.finds import FindIdCollisionError
+
+        coordinator.new_find((0, 0), find_id=7)
+        with pytest.raises(FindIdCollisionError):
+            coordinator.new_find((1, 1), find_id=7)
+        # The original record survived untouched.
+        assert coordinator.records[7].origin == (0, 0)
+
+    def test_collision_with_locally_allocated_id_raises(self, coordinator):
+        from repro.core.finds import FindIdCollisionError
+
+        fid = coordinator.new_find((0, 0))
+        with pytest.raises(FindIdCollisionError):
+            coordinator.new_find((1, 1), find_id=fid)
 
 
 class TestSnapshotCapture:

@@ -1,0 +1,34 @@
+"""The stable ``repro.api`` facade contract."""
+
+from repro import api
+
+
+class TestFacade:
+    def test_every_exported_name_resolves(self):
+        missing = [name for name in api.__all__ if not hasattr(api, name)]
+        assert missing == []
+
+    def test_all_is_explicit_and_sorted_within_groups(self):
+        assert len(set(api.__all__)) == len(api.__all__)
+
+    def test_facade_names_are_the_canonical_objects(self):
+        # The facade re-exports, never wraps: identity must hold so
+        # isinstance checks across deep and facade imports agree.
+        from repro.scenario import ScenarioConfig
+        from repro.service import TrackingService
+        from repro.workload import materialize
+
+        assert api.ScenarioConfig is ScenarioConfig
+        assert api.TrackingService is TrackingService
+        assert api.materialize is materialize
+
+    def test_facade_session_round_trip(self):
+        config = api.ScenarioConfig(r=2, max_level=2, seed=7, shards=2,
+                                    n_objects=2)
+        tiling = api.build(config).hierarchy.tiling
+        load = api.LoadGenerator(
+            tiling=tiling, n_objects=2, n_finds=4, moves_per_object=1
+        )
+        result = api.TrackingService(config, engine="plain").run(load)
+        assert result.finds_issued == 4
+        assert result.metrics["finds_issued"] == 4
