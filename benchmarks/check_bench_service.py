@@ -1,22 +1,28 @@
-"""Validate a BENCH_service.json artifact (bench-service/1).
+"""Validate a BENCH_service.json artifact (bench-service/2).
 
-CI's smoke-service step runs this after ``repro.service.harness``;
-exits nonzero when the artifact is malformed or a gate fails.
+CI's smoke-service / smoke-service-scale steps run this after
+``repro.service.harness``; exits nonzero when the artifact is malformed
+or a gate fails.
 
 Checks:
 
-* schema is ``bench-service/1``;
+* schema is ``bench-service/2``;
 * every scenario ran on **both** engines (plain reference and sharded
   PDES) and their canonical trace fingerprints match
   (``fingerprint_match`` — the service-level K-invariance gate);
 * per engine, the metric block is complete: find counts, completion
   rate, latency percentiles (ordered p50 ≤ p95 ≤ p99, with mean and
-  jitter), throughput, deadline accounting and per-object handover
-  counts — and the two engines agree on every simulation-time quantity
+  jitter), throughput, deadline accounting and the bucketed handover
+  summary — and the two engines agree on every simulation-time quantity
   (wall clock is the only engine-dependent field);
-* a full artifact (``quick: false``) must contain at least one
-  scenario at the ISSUE acceptance floor: M ≥ 100 objects and ≥ 1000
-  issued finds.
+* the **M-scaling gate**: when the artifact carries a ``scaling``
+  block, each point's events/sec must hold a floor fraction of the
+  smallest-M baseline — 0.5 for a full artifact, 0.4 under ``--quick``
+  (tolerance band for noisy CI machines).  Full artifacts must carry
+  the block with the complete M ∈ {100, 1000, 10000} sweep; a
+  ``scale-smoke`` artifact must carry at least two points;
+* a full artifact must contain at least one scenario at the ISSUE
+  acceptance floor: M ≥ 100 objects and ≥ 1000 issued finds.
 
 Usage::
 
@@ -29,12 +35,20 @@ import json
 import sys
 from pathlib import Path
 
-SCHEMA = "bench-service/1"
+SCHEMA = "bench-service/2"
 
 #: The full-artifact acceptance floor (ISSUE: one scenario with at
 #: least this many objects and issued finds, on both engines).
 MIN_OBJECTS = 100
 MIN_FINDS = 1000
+
+#: M values a full artifact's scaling sweep must cover.
+FULL_SCALING_POINTS = (100, 1000, 10000)
+
+#: Scaling-ratio floors: events/sec at each larger M vs the baseline.
+#: The quick floor is looser — a tolerance band for noisy CI runners.
+SCALING_RATIO_FLOOR = 0.5
+SCALING_RATIO_FLOOR_QUICK = 0.4
 
 #: Metric keys every engine block must carry.
 METRIC_KEYS = (
@@ -47,11 +61,19 @@ METRIC_KEYS = (
     "deadlines_set",
     "deadlines_missed",
     "handovers_total",
-    "handovers_per_object",
+    "handovers",
     "mean_find_work",
 )
 
 LATENCY_KEYS = ("p50", "p95", "p99", "mean", "jitter")
+
+HANDOVER_KEYS = ("objects", "min", "mean", "max", "histogram")
+
+#: Per-scaling-point keys the sweep must report.
+SCALING_POINT_KEYS = (
+    "m", "events", "wall_s", "events_per_sec", "phase_self_s",
+    "ratio_vs_baseline",
+)
 
 #: Simulation-time metric keys that must be identical across engines
 #: (everything except nothing — the whole block is sim-time — but keep
@@ -79,11 +101,75 @@ def _check_metrics(name: str, engine: str, metrics: dict, problems: list) -> Non
         problems.append(f"{name}/{engine}: no finds completed")
     if metrics.get("handovers_total", 0) <= 0:
         problems.append(f"{name}/{engine}: no handovers observed")
+    handovers = metrics.get("handovers")
+    if isinstance(handovers, dict):
+        for key in HANDOVER_KEYS:
+            if key not in handovers:
+                problems.append(f"{name}/{engine}: handovers.{key} missing")
+        histogram = handovers.get("histogram")
+        if isinstance(histogram, dict) and handovers.get("objects"):
+            if sum(histogram.values()) != handovers["objects"]:
+                problems.append(
+                    f"{name}/{engine}: handover histogram does not sum to "
+                    f"the object count"
+                )
+    elif "handovers" in metrics:
+        problems.append(
+            f"{name}/{engine}: handovers is not a summary block "
+            f"({type(handovers).__name__})"
+        )
     rate = metrics.get("deadline_miss_rate")
     if metrics.get("deadlines_set", 0) > 0 and rate is None:
         problems.append(
             f"{name}/{engine}: deadlines set but deadline_miss_rate is null"
         )
+
+
+def _check_scaling(bench: dict, quick: bool, problems: list) -> None:
+    scaling = bench.get("scaling")
+    mode = bench.get("mode", "quick" if bench.get("quick") else "full")
+    if scaling is None:
+        if mode == "full":
+            problems.append("full artifact carries no scaling sweep")
+        elif mode == "scale-smoke":
+            problems.append("scale-smoke artifact carries no scaling sweep")
+        return
+    points = scaling.get("points") or []
+    if len(points) < 2:
+        problems.append("scaling sweep has fewer than two points")
+        return
+    for point in points:
+        label = f"scaling m={point.get('m', '?')}"
+        for key in SCALING_POINT_KEYS:
+            if key not in point:
+                problems.append(f"{label}: {key!r} missing")
+        if point.get("events", 0) <= 0:
+            problems.append(f"{label}: no events fired")
+        if point.get("events_per_sec", 0) <= 0:
+            problems.append(f"{label}: events_per_sec not positive")
+        phases = point.get("phase_self_s")
+        if not isinstance(phases, dict) or not phases:
+            problems.append(f"{label}: per-phase self-time block empty")
+    ms = [p.get("m", 0) for p in points]
+    if ms != sorted(ms) or len(set(ms)) != len(ms):
+        problems.append(f"scaling points not strictly increasing in m: {ms}")
+    if mode == "full":
+        missing = [m for m in FULL_SCALING_POINTS if m not in ms]
+        if missing:
+            problems.append(
+                f"full artifact scaling sweep missing M points: {missing}"
+            )
+    floor = SCALING_RATIO_FLOOR_QUICK if quick else SCALING_RATIO_FLOOR
+    baseline = points[0].get("events_per_sec") or 0
+    if baseline > 0:
+        for point in points[1:]:
+            ratio = (point.get("events_per_sec") or 0) / baseline
+            if ratio < floor:
+                problems.append(
+                    f"scaling gate: events/sec at m={point.get('m')} is "
+                    f"{ratio:.2f}x the m={points[0].get('m')} baseline "
+                    f"(floor {floor}) — per-event cost grows with M"
+                )
 
 
 def check(path: Path, quick: bool = False) -> int:
@@ -129,6 +215,8 @@ def check(path: Path, quick: bool = False) -> int:
         ):
             floor_met = True
 
+    _check_scaling(bench, quick, problems)
+
     if not quick and not bench.get("quick") and not floor_met:
         problems.append(
             f"no scenario meets the acceptance floor: >= {MIN_OBJECTS} "
@@ -139,9 +227,15 @@ def check(path: Path, quick: bool = False) -> int:
         for problem in problems:
             print(f"FAIL: {problem}", file=sys.stderr)
         return 1
+    scaling = bench.get("scaling")
+    scaling_note = (
+        f", scaling sweep over M={[p['m'] for p in scaling['points']]} "
+        "holds the events/sec floor"
+        if scaling else ""
+    )
     print(
         f"OK: {len(scenarios)} scenario(s), fingerprints match on both "
-        "engines, metric blocks complete",
+        f"engines, metric blocks complete{scaling_note}",
         file=sys.stderr,
     )
     return 0

@@ -43,7 +43,7 @@ def _cache_identity_map() -> Dict[int, Tuple[str, TopologyKey]]:
     Both the hierarchy object and its tiling get a tag: simulation
     components reference either (routers hold the tiling directly), and
     intercepting the tiling is what keeps its ``_repro_route_table`` /
-    ``_repro_distance_partitions`` memo attributes out of the payload.
+    ``_repro_distance_table`` memo attributes out of the payload.
     """
     mapping: Dict[int, Tuple[str, TopologyKey]] = {}
     for key, hierarchy in topology_cache()._hierarchies.items():

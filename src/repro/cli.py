@@ -210,6 +210,9 @@ def _build_parser() -> argparse.ArgumentParser:
                          help="walk steps per object (default 2)")
     service.add_argument("--shards", type=int, default=2,
                          help="shard count K for the sharded engine")
+    service.add_argument("--profile", action="store_true",
+                         help="run each engine with obs spans enabled and "
+                              "report per-phase self-time")
     return parser
 
 
@@ -628,8 +631,24 @@ def cmd_service(args) -> int:
         moves_per_object=args.moves_per_object,
         deadline=args.deadline,
     )
-    plain = TrackingService(config, engine="plain").run(load)
-    sharded = TrackingService(config, engine="sharded").run(load)
+    profiles = {}
+
+    def run_engine(engine: str):
+        service = TrackingService(config, engine=engine)
+        if not args.profile:
+            return service.run(load)
+        import repro.obs as obs
+
+        with obs.observed(spans=True, events=False) as collector:
+            result = service.run(load)
+        profiles[engine] = {
+            phase: round(seconds, 6)
+            for phase, seconds in sorted(collector.phase_totals.items())
+        }
+        return result
+
+    plain = run_engine("plain")
+    sharded = run_engine("sharded")
     match = plain.canonical_fingerprint == sharded.canonical_fingerprint
     if args.json:
         _emit("service", {
@@ -653,6 +672,7 @@ def cmd_service(args) -> int:
                 "metrics": sharded.metrics,
             },
             "fingerprint_match": match,
+            **({"profile": profiles} if args.profile else {}),
         })
         return 0 if match else 1
     metrics = sharded.metrics
@@ -681,6 +701,15 @@ def cmd_service(args) -> int:
         f"K={sharded.shards} {sharded.canonical_fingerprint} -> "
         f"{'MATCH' if match else 'DIVERGED'}"
     )
+    if args.profile:
+        phases = sorted(set(profiles["plain"]) | set(profiles["sharded"]))
+        print("profile: per-phase self-time (seconds)")
+        print(f"  {'phase':<12} {'plain':>10} {'sharded':>10}")
+        for phase in phases:
+            print(
+                f"  {phase:<12} {profiles['plain'].get(phase, 0.0):>10.4f} "
+                f"{profiles['sharded'].get(phase, 0.0):>10.4f}"
+            )
     return 0 if match else 1
 
 

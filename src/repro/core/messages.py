@@ -9,28 +9,57 @@ individual find operations; it does not influence the algorithm
 
 Every message also carries an ``object_id`` selecting which of the
 hierarchy's independent tracking paths it belongs to (DESIGN.md §9).
-The default ``0`` is the single-evader lane of the original paper; the
-field defaults keep messages pickled before the multi-object service
-existed unpicklable-compatible (missing instance attributes fall back
-to the class attribute the dataclass default installs).
+The default ``0`` is the single-evader lane of the original paper.
+
+Messages are ``slots=True`` dataclasses: the dispatch path allocates
+one per send and they live in queues, event closures and checkpoint
+payloads by the hundred thousand at M=10k, so the per-instance dict is
+worth dropping.  :func:`_compat_setstate` keeps payloads pickled by
+older (dict-based) builds loadable: it accepts the legacy attribute
+dict — filling fields the old build didn't have (e.g. ``object_id``)
+from their dataclass defaults — as well as the field-list state the
+slots dataclass emits.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, fields
-from typing import Optional
+from dataclasses import MISSING, dataclass, fields
+from typing import Dict, Optional, Tuple
 
 from ..hierarchy.cluster import ClusterId
 
+#: Field-name tuples by concrete message class: ``__repr__`` runs once
+#: per send on the trace path, and ``dataclasses.fields`` re-resolves
+#: the class metadata on every call.
+_REPR_FIELDS: Dict[type, Tuple[str, ...]] = {}
 
-@dataclass(frozen=True)
+
+def _compat_setstate(self, state) -> None:
+    if isinstance(state, tuple) and len(state) == 2:
+        mapping, slots = state
+        state = dict(mapping or {})
+        state.update(slots or {})
+    if isinstance(state, dict):
+        for key, value in state.items():
+            object.__setattr__(self, key, value)
+        for f in fields(self):
+            if not hasattr(self, f.name) and f.default is not MISSING:
+                object.__setattr__(self, f.name, f.default)
+    else:
+        for f, value in zip(fields(self), state):
+            object.__setattr__(self, f.name, value)
+
+
+@dataclass(frozen=True, slots=True)
 class TrackerMessage:
     """Base class of all tracking-protocol messages."""
 
     _kind = "trackermessage"
 
     def __init_subclass__(cls, **kwargs) -> None:
-        super().__init_subclass__(**kwargs)
+        # No zero-arg super() here: ``slots=True`` rebuilds the class,
+        # which orphans the implicit ``__class__`` cell.  The base is
+        # ``object``, so there is nothing to forward to anyway.
         cls._kind = cls.__name__.lower()
 
     @property
@@ -42,16 +71,21 @@ class TrackerMessage:
         # paper) renders in the legacy pre-service form: trace lines
         # and their pinned fingerprints are built from these reprs, and
         # lane-0 runs must stay bit-identical to the seed engine.
+        cls = type(self)
+        names = _REPR_FIELDS.get(cls)
+        if names is None:
+            names = tuple(f.name for f in fields(self))
+            _REPR_FIELDS[cls] = names
         parts = []
-        for f in fields(self):
-            value = getattr(self, f.name)
-            if f.name == "object_id" and value == 0:
+        for name in names:
+            value = getattr(self, name)
+            if name == "object_id" and value == 0:
                 continue
-            parts.append(f"{f.name}={value!r}")
-        return f"{type(self).__name__}({', '.join(parts)})"
+            parts.append(f"{name}={value!r}")
+        return f"{cls.__name__}({', '.join(parts)})"
 
 
-@dataclass(frozen=True, repr=False)
+@dataclass(frozen=True, repr=False, slots=True)
 class Grow(TrackerMessage):
     """Extend the tracking path: ``cid`` is the sender (new child)."""
 
@@ -59,7 +93,7 @@ class Grow(TrackerMessage):
     object_id: int = 0
 
 
-@dataclass(frozen=True, repr=False)
+@dataclass(frozen=True, repr=False, slots=True)
 class GrowNbr(TrackerMessage):
     """Sender ``cid`` joined the path via a lateral link (sets nbrptdown)."""
 
@@ -67,7 +101,7 @@ class GrowNbr(TrackerMessage):
     object_id: int = 0
 
 
-@dataclass(frozen=True, repr=False)
+@dataclass(frozen=True, repr=False, slots=True)
 class GrowPar(TrackerMessage):
     """Sender ``cid`` joined the path via its hierarchy parent (sets nbrptup)."""
 
@@ -75,7 +109,7 @@ class GrowPar(TrackerMessage):
     object_id: int = 0
 
 
-@dataclass(frozen=True, repr=False)
+@dataclass(frozen=True, repr=False, slots=True)
 class Shrink(TrackerMessage):
     """Remove deadwood: sender ``cid`` asks its path parent to drop it."""
 
@@ -83,7 +117,7 @@ class Shrink(TrackerMessage):
     object_id: int = 0
 
 
-@dataclass(frozen=True, repr=False)
+@dataclass(frozen=True, repr=False, slots=True)
 class ShrinkUpd(TrackerMessage):
     """Sender ``cid`` left the path; neighbors clear secondary pointers."""
 
@@ -91,7 +125,7 @@ class ShrinkUpd(TrackerMessage):
     object_id: int = 0
 
 
-@dataclass(frozen=True, repr=False)
+@dataclass(frozen=True, repr=False, slots=True)
 class Find(TrackerMessage):
     """A find operation in flight; ``cid`` is the forwarding process."""
 
@@ -100,7 +134,7 @@ class Find(TrackerMessage):
     object_id: int = 0
 
 
-@dataclass(frozen=True, repr=False)
+@dataclass(frozen=True, repr=False, slots=True)
 class FindQuery(TrackerMessage):
     """Search-phase neighbor query from process ``cid``."""
 
@@ -109,7 +143,7 @@ class FindQuery(TrackerMessage):
     object_id: int = 0
 
 
-@dataclass(frozen=True, repr=False)
+@dataclass(frozen=True, repr=False, slots=True)
 class FindAck(TrackerMessage):
     """Answer to a findQuery: ``pointer`` leads toward the tracking path."""
 
@@ -118,7 +152,7 @@ class FindAck(TrackerMessage):
     object_id: int = 0
 
 
-@dataclass(frozen=True, repr=False)
+@dataclass(frozen=True, repr=False, slots=True)
 class Found(TrackerMessage):
     """Tracing finished at the evader's region."""
 
@@ -129,6 +163,13 @@ class Found(TrackerMessage):
 # Kinds whose in-transit presence violates a consistent state (§IV-C).
 MOVE_MESSAGE_TYPES = (Grow, GrowNbr, GrowPar, Shrink, ShrinkUpd)
 FIND_MESSAGE_TYPES = (Find, FindQuery, FindAck, Found)
+
+# slots=True makes the dataclass decorator install a __setstate__ that
+# only understands its own field-list state; swap in the tolerant
+# loader so pre-slots (dict-state) checkpoints keep restoring.
+for _cls in (TrackerMessage,) + MOVE_MESSAGE_TYPES + FIND_MESSAGE_TYPES:
+    _cls.__setstate__ = _compat_setstate
+del _cls
 
 
 def is_move_message(message: TrackerMessage) -> bool:

@@ -32,10 +32,30 @@ the minimum outstanding deadline, so a tracker schedules O(1) executor
 wakeups regardless of how many objects route through it.  ``sendq`` and
 ``findAckq`` stay shared FIFOs (messages carry their ``object_id``), so
 lateral-link maintenance traffic is batched across lanes too.
+
+O(active) scheduling (DESIGN.md §9.5)
+-------------------------------------
+Neither :meth:`Tracker.enabled_outputs` nor the wheel ever scans all
+lanes.  A *dirty set* holds the object ids that may have an enabled
+action — a lane enters it when a message arrives for it or one of its
+deadlines comes due, and leaves when :meth:`Tracker._lane_enabled`
+returns nothing for it; iteration is in sorted object-id order, so the
+action precedence (and with it every pinned fingerprint) is unchanged
+from the full scan.  Deadlines live in a lazy min-heap of
+``(deadline, object_id)`` entries pushed on every
+:meth:`LaneDeadline.arm`; stale entries (the lane re-armed or disarmed
+since the push) are dropped when popped.  Servicing the heap both
+re-dirties lanes whose deadline has arrived — *before* the first
+same-instant drain reads them, exactly when the full scan would have
+seen ``expired()`` — and yields the minimum future deadline the wheel
+re-arms at.  The invariant that makes the dirty set sound: a lane
+outside it has no enabled action, and pure time passage can only
+enable an action through a deadline, which is always in the heap.
 """
 
 from __future__ import annotations
 
+from heapq import heapify, heappop, heappush
 from typing import Dict, List, Optional
 
 from ..hierarchy.cluster import ClusterId
@@ -82,15 +102,19 @@ class LaneDeadline:
 
     Duck-typed to the :class:`~repro.tioa.timers.Timer` surface the
     Fig. 2 logic reads (``deadline``/``armed``/``expired``/``arm``/
-    ``disarm``) but owns no executor event: arming or disarming simply
-    re-evaluates the tracker's wheel, which is the single real timer
-    for all extra lanes.
+    ``disarm``) but owns no executor event: arming pushes a
+    ``(deadline, object_id)`` entry onto the tracker's deadline heap
+    and re-evaluates the wheel, which is the single real timer for all
+    extra lanes.  Disarming leaves its heap entry behind as garbage;
+    the heap drops it lazily (the lane's live deadline no longer
+    matches the entry).
     """
 
-    __slots__ = ("_tracker", "deadline")
+    __slots__ = ("_tracker", "_object_id", "deadline")
 
-    def __init__(self, tracker: "Tracker") -> None:
+    def __init__(self, tracker: "Tracker", object_id: int) -> None:
         self._tracker = tracker
+        self._object_id = object_id
         self.deadline: float = INFINITY
 
     @property
@@ -101,13 +125,15 @@ class LaneDeadline:
         return self.deadline != INFINITY and self._tracker.now >= self.deadline
 
     def arm(self, deadline: float) -> None:
-        if deadline < self._tracker.now:
+        tracker = self._tracker
+        if deadline < tracker.now:
             raise ValueError(
                 f"lane deadline {deadline} is in the past "
-                f"(now={self._tracker.now})"
+                f"(now={tracker.now})"
             )
         self.deadline = deadline
-        self._tracker._rearm_wheel()
+        heappush(tracker._deadline_heap, (deadline, self._object_id))
+        tracker._rearm_wheel()
 
     def disarm(self) -> None:
         if self.deadline != INFINITY:
@@ -140,8 +166,8 @@ class ObjectLane:
         self.nbrptdown: Optional[ClusterId] = BOTTOM
         self.finding = False
         self.find_id = 0
-        self.timer = LaneDeadline(tracker)
-        self.nbrtimeout = LaneDeadline(tracker)
+        self.timer = LaneDeadline(tracker, object_id)
+        self.nbrtimeout = LaneDeadline(tracker, object_id)
         # Deterministic ack arbitration (extra lanes only): qualifying
         # FindAck pointers are *recorded* here — canonical minimum, not
         # first-arrival — and acted on once, at the wheel wakeup after
@@ -168,10 +194,13 @@ class Tracker(TimedAutomaton):
     #: :class:`ObjectLane` is expected.
     object_id = 0
     #: Class-level fallbacks so trackers pickled before multi-object
-    #: lanes existed unpickle into working single-lane trackers.
+    #: lanes existed unpickle into working single-lane trackers
+    #: (``__setstate__`` rebuilds the lane bookkeeping either way).
     _lanes: Optional[Dict[int, ObjectLane]] = None
-    _lane_order = None
     _lane_wheel: Optional[Timer] = None
+    _dirty = None
+    _deadline_heap = None
+    _timeout_pending = None
 
     def __init__(
         self,
@@ -210,8 +239,14 @@ class Tracker(TimedAutomaton):
         self._recv_handlers: dict = {}  # message kind → bound _recv_* method
         # --- extra object lanes (created on demand) --------------------
         self._lanes = {}
-        self._lane_order = None
         self._lane_wheel = None
+        # O(active) scheduling state (module docstring): object ids that
+        # may have an enabled action, the lazy (deadline, object_id)
+        # min-heap, and lanes whose find roundtrip ended but whose
+        # ``timeout_due`` flag awaits the next wheel wakeup.
+        self._dirty: set = set()
+        self._deadline_heap: list = []
+        self._timeout_pending: set = set()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -229,7 +264,9 @@ class Tracker(TimedAutomaton):
         self.find_id = 0
         if self._lanes:
             self._lanes.clear()
-        self._lane_order = None
+        self._dirty = set()
+        self._deadline_heap = []
+        self._timeout_pending = set()
         wheel = self._lane_wheel
         if wheel is not None:
             wheel.disarm()
@@ -244,23 +281,80 @@ class Tracker(TimedAutomaton):
     def on_wakeup(self, tag=None) -> None:
         if tag != "lane-wheel":
             return
-        # Mark every lane whose find roundtrip is over: the drain that
-        # follows forwards each one to its best recorded ack pointer or
-        # escalates.  The flag (rather than reading the deadline in
-        # enabled_outputs) keeps the decision at this single point —
-        # after all same-instant deliveries, per the wheel's priority.
-        lanes = self._lanes
-        if lanes:
+        # Collect any deadlines that came due at this instant, then mark
+        # every pending lane whose find roundtrip is over: the drain
+        # that follows forwards each one to its best recorded ack
+        # pointer or escalates.  The flag (rather than reading the
+        # deadline in enabled_outputs) keeps the decision at this single
+        # point — after all same-instant deliveries, per the wheel's
+        # priority.  ``_timeout_pending`` is filled by the heap exactly
+        # once per armed roundtrip and re-checked here against the live
+        # lane state, so a wheel re-armed past a due instant (unrelated
+        # lane activity) still flags the lane at its next wakeup — the
+        # same late outcome the full sweep produced.
+        self._service_heap()
+        pending = self._timeout_pending
+        if pending:
+            lanes = self._lanes
+            dirty = self._dirty
             now = self.now
-            for lane in lanes.values():
-                if lane.finding and lane.nbrtimeout.armed \
-                        and lane.nbrtimeout.deadline <= now:
+            for oid in sorted(pending):
+                lane = lanes.get(oid) if lanes else None
+                if (
+                    lane is not None
+                    and lane.finding
+                    and lane.nbrtimeout.deadline <= now  # armed: != INFINITY
+                ):
                     lane.timeout_due = True
+                    dirty.add(oid)
+            pending.clear()
         # Hand the wheel on to the next future deadline: a drain whose
         # effects touch no LaneDeadline (a lone find escalation, say)
         # would otherwise leave the wheel dead with live deadlines
         # pending.
         self._rearm_wheel()
+
+    def __setstate__(self, state) -> None:
+        """Restore a pickled tracker, rebuilding the lane bookkeeping.
+
+        The dirty set and deadline heap are derived state: rebuilding
+        them conservatively (every lane dirty, one heap entry per armed
+        deadline) is cheap and makes snapshots from before the O(active)
+        scheduler — whose lanes also predate ``LaneDeadline._object_id``
+        — restore into working trackers.  A conservatively dirty lane
+        with no enabled action is dropped by the first drain without
+        emitting anything, so resumed traces stay bit-identical.
+        """
+        if isinstance(state, tuple):  # (dict, slots) protocol-2 shape
+            mapping, slots = state
+            if mapping:
+                self.__dict__.update(mapping)
+            if slots:
+                for key, value in slots.items():
+                    setattr(self, key, value)
+        else:
+            self.__dict__.update(state)
+        self._rebuild_lane_index()
+
+    def _rebuild_lane_index(self) -> None:
+        lanes = self._lanes
+        # ``_timeout_pending`` need not be preserved across a snapshot:
+        # a pending lane's nbrtimeout is still armed at its (now past)
+        # deadline, so the rebuilt heap re-pends it at the next service.
+        self._timeout_pending = set()
+        if not lanes:
+            self._dirty = set()
+            self._deadline_heap = []
+            return
+        self._dirty = set(lanes)
+        heap = []
+        for oid, lane in lanes.items():
+            for deadline_obj in (lane.timer, lane.nbrtimeout):
+                deadline_obj._object_id = oid  # heal pre-§9.5 pickles
+                if deadline_obj.deadline != INFINITY:
+                    heap.append((deadline_obj.deadline, oid))
+        heapify(heap)
+        self._deadline_heap = heap
 
     # ------------------------------------------------------------------
     # Object lanes
@@ -277,7 +371,6 @@ class Tracker(TimedAutomaton):
         if lane is None:
             lane = ObjectLane(object_id, self)
             lanes[object_id] = lane
-            self._lane_order = None
         return lane
 
     def object_ids(self) -> tuple:
@@ -287,29 +380,59 @@ class Tracker(TimedAutomaton):
             return (0,)
         return (0,) + tuple(sorted(lanes))
 
+    def _service_heap(self) -> float:
+        """Pop due/stale deadline-heap entries; return the next live one.
+
+        An entry is *live* when the lane's current grow/shrink or
+        neighbor-timeout deadline still equals the pushed value (a
+        re-arm pushes a fresh entry; a disarm or re-arm strands the old
+        one).  A live entry that has come due dirties its lane — that
+        is the moment the full scan would first have seen ``expired()``
+        or an actionable timeout — and, when it is the find roundtrip
+        that ended, queues the lane for ``timeout_due`` flagging at the
+        next wheel wakeup.  Returns the minimum *future* live deadline
+        (``INFINITY`` when none), leaving that entry in the heap.
+        """
+        heap = self._deadline_heap
+        if not heap:
+            return INFINITY
+        lanes = self._lanes
+        dirty = self._dirty
+        pending = self._timeout_pending
+        now = self.now
+        while heap:
+            d, oid = heap[0]
+            lane = lanes.get(oid) if lanes else None
+            if lane is None:
+                heappop(heap)
+                continue
+            timer_live = lane.timer.deadline == d
+            nbr_live = lane.nbrtimeout.deadline == d
+            if not (timer_live or nbr_live):
+                heappop(heap)  # stale: superseded by a later push
+                continue
+            if d > now:
+                return d
+            heappop(heap)
+            dirty.add(oid)
+            if nbr_live:
+                pending.add(oid)
+        return INFINITY
+
     def _rearm_wheel(self) -> None:
         """Re-arm the shared wheel at the minimum *future* lane deadline.
 
         Deadlines at or before ``now`` never need a wakeup: a deadline
         due this instant is handled by the drain already in progress
         (every ``_rearm_wheel`` call site runs inside input processing
-        or an output effect, both followed by a drain), and a deadline
-        left armed in the past is unactionable by pure time passage
-        (e.g. ``output_find_forward`` clears ``finding`` but per Fig. 2
+        or an output effect, both followed by a drain — and servicing
+        the heap just re-dirtied its lane), and a deadline left armed
+        in the past is unactionable by pure time passage (e.g.
+        ``output_find_forward`` clears ``finding`` but per Fig. 2
         leaves ``nbrtimeout`` set).  Arming at such values would spin
         the wheel on no-op wakeups.
         """
-        nxt = INFINITY
-        now = self.now
-        lanes = self._lanes
-        if lanes:
-            for lane in lanes.values():
-                d = lane.timer.deadline
-                if now < d < nxt:
-                    nxt = d
-                d = lane.nbrtimeout.deadline
-                if now < d < nxt:
-                    nxt = d
+        nxt = self._service_heap()
         wheel = self._lane_wheel
         if nxt == INFINITY:
             if wheel is not None:
@@ -364,7 +487,13 @@ class Tracker(TimedAutomaton):
         # getattr: extension message types (e.g. heartbeats) may not
         # carry an object_id; they belong to lane 0.
         object_id = getattr(message, "object_id", 0)
-        handler(message, self if object_id == 0 else self.lane(object_id))
+        if object_id == 0:
+            handler(message, self)
+        else:
+            handler(message, self.lane(object_id))
+            # The receipt may have enabled a lane action; the following
+            # drain scans dirty lanes only.
+            self._dirty.add(object_id)
 
     # --- move-related receipts -----------------------------------------
     def _recv_grow(self, message: Grow, lane) -> None:
@@ -485,7 +614,14 @@ class Tracker(TimedAutomaton):
 
         Shared FIFOs first (they batch traffic for every lane), then
         lane 0 — exactly the pre-service order, so single-object runs
-        are bit-identical — then extra lanes in ascending object id.
+        are bit-identical — then *dirty* extra lanes in ascending
+        object id.  Promoting due heap entries first keeps a deadline
+        that expires this instant visible to every same-instant drain
+        (priority-0 deliveries run before the wheel's priority-1
+        wakeup), exactly as the full scan saw ``expired()``; the
+        dirty-set invariant (quiesced lanes have no enabled action)
+        then makes the dirty order and the full-scan order agree on
+        the first enabled lane.  Cost: O(dirty · log dirty), not O(M).
         """
         if self.sendq:
             return [_SENDQ_HEAD]
@@ -494,12 +630,38 @@ class Tracker(TimedAutomaton):
         action = self._lane_enabled(self)
         if action is not None:
             return [action]
+        heap = self._deadline_heap
+        if heap and heap[0][0] <= self.now:
+            self._service_heap()
+        dirty = self._dirty
+        if dirty:
+            lanes = self._lanes
+            for object_id in sorted(dirty):
+                action = self._lane_enabled(lanes[object_id])
+                if action is not None:
+                    return [action]
+                dirty.discard(object_id)  # quiesced until re-touched
+        return []
+
+    def _enabled_outputs_fullscan(self) -> List[Action]:
+        """Reference implementation scanning *every* lane (pre-§9.5).
+
+        Kept as the oracle for the dirty-set equivalence property test:
+        same precedence, O(M) per call.  Not used on the hot path.
+        """
+        if self.sendq:
+            return [_SENDQ_HEAD]
+        if self.findAckq:
+            return [_FINDACKQ_HEAD]
+        action = self._lane_enabled(self)
+        if action is not None:
+            return [action]
+        heap = self._deadline_heap
+        if heap and heap[0][0] <= self.now:
+            self._service_heap()  # keep _timeout_pending fed for the wheel
         lanes = self._lanes
         if lanes:
-            order = self._lane_order
-            if order is None:
-                order = self._lane_order = tuple(sorted(lanes))
-            for object_id in order:
+            for object_id in sorted(lanes):
                 action = self._lane_enabled(lanes[object_id])
                 if action is not None:
                     return [action]

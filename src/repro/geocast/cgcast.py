@@ -23,7 +23,7 @@ of Theorems 4.9/5.2; client↔cluster messages cost 1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional
 
@@ -90,6 +90,10 @@ class CGcast:
     #: Class-level fallback so checkpoints pickled before the sharding
     #: hooks existed unpickle into a working (unhooked) instance.
     shard_router: Optional[ShardRouter] = None
+    #: Same, for the transit tombstone counter (pre-tombstone pickles).
+    _transit_dead = 0
+    #: Same, for the cluster-id intern map (pre-intern pickles).
+    _cluster_intern: Optional[Dict[ClusterId, ClusterId]] = None
 
     def __init__(
         self,
@@ -116,8 +120,14 @@ class CGcast:
         self.shard_router: Optional[ShardRouter] = None
         self.messages_sent = 0
         self.total_cost = 0.0
-        # Messages currently in transit: list of (src, dest, payload, deliver_time).
+        # Messages currently in transit: list of [src, dest, payload,
+        # deliver_time] entries.  Delivery tombstones an entry (its
+        # deliver_time slot becomes None) instead of list.remove()-ing
+        # it — removal would equality-scan every earlier in-flight entry
+        # (payload/ClusterId comparisons), O(in-flight) per delivery.
+        # Compaction below keeps the dead fraction bounded.
         self._in_transit: List[list] = []
+        self._transit_dead = 0
         # (src, dest) → distance units.  The hierarchy is immutable after
         # construction, so the §II-C.3 rule outcome never changes.
         self._units_cache: Dict[tuple, int] = {}
@@ -130,6 +140,10 @@ class CGcast:
         if clust in self._processes:
             raise ValueError(f"process for {clust} already registered")
         self._processes[clust] = automaton
+        intern = self._cluster_intern
+        if intern is None:
+            intern = self._cluster_intern = {}
+        intern[clust] = clust
 
     def process(self, clust: ClusterId) -> TimedAutomaton:
         try:
@@ -148,7 +162,7 @@ class CGcast:
 
     def in_transit(self) -> List[tuple]:
         """Snapshot of undelivered messages: ``(src, dest, payload, time)``."""
-        return [tuple(entry) for entry in self._in_transit]
+        return [tuple(entry) for entry in self._in_transit if entry[3] is not None]
 
     # ------------------------------------------------------------------
     # Delay / cost model
@@ -182,8 +196,14 @@ class CGcast:
         elif dest.level == src.level - 1:
             if h.parent(dest) == src:
                 return params.p(dest.level)  # rule (b), downward
-        # Fallback: exact distance between heads (see module docstring).
-        return max(1, h.head_distance(src, dest))
+        # Fallback: exact distance between heads (see module docstring),
+        # read from the tiling's shared flat distance table — same
+        # values as ``h.head_distance`` (BFS == tiling.distance), no
+        # per-call BFS on cold (src, dest) pairs.
+        from ..topo.distances import distance_table
+
+        table = distance_table(h.tiling)
+        return max(1, table.distance(h.head(src), h.head(dest)))
 
     def vsa_delay(self, src: ClusterId, dest: ClusterId) -> float:
         """Exact delivery delay for a VSA→VSA message."""
@@ -283,7 +303,13 @@ class CGcast:
             self._in_transit.append(entry)
 
             def fire(entry=entry) -> None:
-                self._in_transit.remove(entry)
+                entry[3] = None  # tombstone: delivered
+                dead = self._transit_dead + 1
+                transit = self._in_transit
+                if dead >= 64 and dead * 2 >= len(transit):
+                    self._in_transit = [e for e in transit if e[3] is not None]
+                    dead = 0
+                self._transit_dead = dead
                 deliver()
 
             self.sim.call_after(copy_delay, fire, tag="cgcast")
@@ -308,8 +334,18 @@ class CGcast:
 
         The sending shard already did the dispatch accounting (count,
         cost, observers, fault filter); this applies only the terminal
-        delivery, at the current simulation time.
+        delivery, at the current simulation time.  Cluster ids arriving
+        here were unpickled by the transport, so they are equal-but-not-
+        identical to the local world's: re-intern them against the
+        registered processes so every later comparison (``lane.c ==
+        message.cid`` and friends) takes ``ClusterId.__eq__``'s identity
+        fast path instead of tuple equality.
         """
+        intern = self._cluster_intern
+        if intern:
+            if isinstance(src, ClusterId):
+                src = intern.get(src, src)
+            payload = self._intern_payload(payload, intern)
         if isinstance(dest, tuple) and len(dest) == 2 and dest[0] == "clients":
             for sink in self._client_sinks.get(dest[1], []):
                 sink(payload)
@@ -318,6 +354,27 @@ class CGcast:
         if target is None:
             return
         self._deliver_vsa(target, payload, src if isinstance(src, ClusterId) else None)
+
+    @staticmethod
+    def _intern_payload(payload: Any, intern: Dict[ClusterId, ClusterId]) -> Any:
+        """``payload`` with canonical (identity-interned) cluster ids.
+
+        Returns the object unchanged (no allocation) when its pointer
+        fields are already canonical or absent.
+        """
+        replacements = {}
+        for field_name in ("cid", "pointer"):
+            cid = getattr(payload, field_name, None)
+            if isinstance(cid, ClusterId):
+                canonical = intern.get(cid)
+                if canonical is not None and canonical is not cid:
+                    replacements[field_name] = canonical
+        if not replacements:
+            return payload
+        try:
+            return replace(payload, **replacements)
+        except TypeError:  # not a dataclass: leave as delivered
+            return payload
 
     def _faulted_delays(
         self, src: Any, dest: Any, payload: Any, delay: float

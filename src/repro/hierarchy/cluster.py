@@ -48,4 +48,10 @@ class ClusterId:
         return (self.__class__, (self.level, self.key))
 
     def __repr__(self) -> str:
-        return f"C{self.level}:{self.key}"
+        # Ids are interned and every send formats its endpoints into a
+        # trace line, so the string is cached on first use.
+        cached = self.__dict__.get("_repr")
+        if cached is None:
+            cached = f"C{self.level}:{self.key}"
+            object.__setattr__(self, "_repr", cached)
+        return cached

@@ -12,7 +12,8 @@ adds the service front-end on top:
   returns a :class:`~repro.service.service.ServiceRunResult` with
   per-find records, per-object handover counts and latency metrics;
 * :mod:`~repro.service.harness` — the ``BENCH_service.json``
-  (``bench-service/1``) generator gated by
+  (``bench-service/2``) generator: scenario table plus the
+  M ∈ {100, 1000, 10000} scaling sweep, gated by
   ``benchmarks/check_bench_service.py`` in CI.
 """
 

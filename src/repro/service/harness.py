@@ -1,18 +1,33 @@
-"""BENCH_service.json generator (schema ``bench-service/1``).
+"""BENCH_service.json generator (schema ``bench-service/2``).
 
 Runs a set of service scenarios — each one LoadGenerator workload
 executed on **both** engines (plain reference and K-sharded PDES) —
 and emits one JSON artifact with per-engine latency percentiles,
-jitter, throughput, deadline-miss rate and per-object handover counts,
-plus the cross-engine fingerprint verdict.
+jitter, throughput, deadline-miss rate and the bucketed handover
+summary, plus the cross-engine fingerprint verdict.
 
-``benchmarks/check_bench_service.py`` gates the artifact in CI (the
-``smoke-service`` job runs ``--quick``); the committed
-``BENCH_service.json`` carries the full M=100 × 1000-find scenario.
+bench-service/2 adds the **M-scaling sweep** (DESIGN.md §9.5): a series
+of plain-engine runs at growing object counts but *fixed per-lane load*
+(one find per object, arrival rate proportional to M), each reporting
+events/sec and the per-phase obs self-time.  Per-event cost must stay
+O(active lanes), not O(M) — the gate in
+``benchmarks/check_bench_service.py`` requires events/sec at every
+larger M to hold at least ``SCALING_RATIO_FLOOR`` of the M=100
+baseline.
+
+Modes:
+
+* default (full) — both-engine scenario set + scaling sweep at
+  M ∈ {100, 1000, 10000}; this is the committed ``BENCH_service.json``;
+* ``--quick`` — small scenario set, no scaling sweep (CI's 60s
+  ``smoke-service`` job);
+* ``--scale-smoke`` — one M=1000 both-engine scenario + scaling sweep
+  at M ∈ {100, 1000} (CI's 90s ``smoke-service-scale`` job).
 
 Usage::
 
-    PYTHONPATH=src python -m repro.service.harness [--quick] [--out PATH]
+    PYTHONPATH=src python -m repro.service.harness \\
+        [--quick | --scale-smoke] [--out PATH]
 """
 
 from __future__ import annotations
@@ -23,7 +38,15 @@ import platform
 import sys
 from typing import Any, Dict, List, Optional
 
-SCHEMA = "bench-service/1"
+SCHEMA = "bench-service/2"
+
+#: Scaling gate: events/sec at each larger M must be at least this
+#: fraction of the M-baseline (smallest point) events/sec.
+SCALING_RATIO_FLOOR = 0.5
+
+#: Object counts for the M-scaling sweep (full artifact / CI smoke).
+FULL_SCALING_POINTS = (100, 1000, 10000)
+SMOKE_SCALING_POINTS = (100, 1000)
 
 #: The full scenario set: at least one M>=100 x >=1000-find entry
 #: (the ISSUE acceptance floor) plus a burst-arrival stress shape.
@@ -54,6 +77,104 @@ QUICK_SCENARIOS = (
         "moves_per_object": 2, "dwell": 40.0, "deadline": 60.0,
     },
 )
+
+#: The scale-smoke both-engine scenario: M=1000 lanes on both engines
+#: with a light find load, so the cross-engine fingerprint gate runs at
+#: four-digit M inside the CI budget.
+SCALE_SMOKE_SCENARIOS = (
+    {
+        "name": "m1000-poisson-quick",
+        "r": 3, "max_level": 2, "seed": 7, "shards": 2,
+        "n_objects": 1000, "n_finds": 200, "find_clients": 16,
+        "arrival": "poisson", "rate": 8.0,
+        "moves_per_object": 1, "dwell": 40.0, "deadline": 60.0,
+    },
+)
+
+
+def scaling_spec(m: int) -> Dict[str, Any]:
+    """The fixed-per-lane-load workload shape at ``m`` objects.
+
+    One find per object and a Poisson arrival rate proportional to M
+    keep the *per-lane* load constant across the sweep, so any growth
+    in per-event cost is scheduling overhead, not workload shape.
+    """
+    return {
+        "r": 3, "max_level": 2, "seed": 7,
+        "n_objects": m, "n_finds": m, "find_clients": 16,
+        "arrival": "poisson", "rate": m / 25.0,
+        "moves_per_object": 2, "dwell": 40.0,
+    }
+
+
+def run_scaling_point(m: int) -> Dict[str, Any]:
+    """One plain-engine timed run at ``m`` objects with obs spans on."""
+    import repro.obs as obs
+
+    from ..scenario import ScenarioConfig
+    from ..sim.sharded.core import _tiling_for
+    from .load import LoadGenerator
+    from .service import TrackingService
+
+    spec = scaling_spec(m)
+    config = ScenarioConfig(
+        r=spec["r"],
+        max_level=spec["max_level"],
+        seed=spec["seed"],
+        shards=1,
+        n_objects=m,
+        find_clients=spec["find_clients"],
+    )
+    load = LoadGenerator(
+        tiling=_tiling_for(config),
+        n_objects=m,
+        n_finds=spec["n_finds"],
+        find_clients=spec["find_clients"],
+        arrival=spec["arrival"],
+        rate=spec["rate"],
+        moves_per_object=spec["moves_per_object"],
+        dwell=spec["dwell"],
+    )
+    with obs.observed(spans=True, events=False) as collector:
+        result = TrackingService(config, engine="plain").run(load)
+    return {
+        "m": m,
+        "events": result.events,
+        "finds_issued": result.finds_issued,
+        "finds_completed": result.finds_completed,
+        "wall_s": result.wall_s,
+        "events_per_sec": result.events / max(result.wall_s, 1e-9),
+        "phase_self_s": {
+            phase: round(seconds, 6)
+            for phase, seconds in sorted(collector.phase_totals.items())
+        },
+    }
+
+
+def run_scaling_sweep(points) -> Dict[str, Any]:
+    """The ``scaling`` artifact block: one timed point per M.
+
+    The first (smallest) point is the baseline; every point carries its
+    events/sec ratio against it.  The ratio data is what the check
+    script gates — the floor here is recorded for the artifact reader.
+    """
+    results = []
+    for m in points:
+        point = run_scaling_point(m)
+        results.append(point)
+        print(
+            f"scaling m={m}: {point['events']} events in "
+            f"{point['wall_s']:.2f}s = {point['events_per_sec']:.0f} ev/s",
+            file=sys.stderr,
+        )
+    baseline = results[0]["events_per_sec"]
+    for point in results:
+        point["ratio_vs_baseline"] = point["events_per_sec"] / baseline
+    return {
+        "baseline_m": results[0]["m"],
+        "ratio_floor": SCALING_RATIO_FLOOR,
+        "points": results,
+    }
 
 
 def run_scenario(spec: Dict[str, Any]) -> Dict[str, Any]:
@@ -113,29 +234,51 @@ def run_scenario(spec: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
-def run_service_bench(quick: bool = False) -> Dict[str, Any]:
-    """The full artifact payload."""
-    scenarios = QUICK_SCENARIOS if quick else FULL_SCENARIOS
-    return {
+def run_service_bench(mode: str = "full") -> Dict[str, Any]:
+    """The full artifact payload for one of the three modes."""
+    if mode == "quick":
+        scenarios, scaling_points = QUICK_SCENARIOS, None
+    elif mode == "scale-smoke":
+        scenarios, scaling_points = SCALE_SMOKE_SCENARIOS, SMOKE_SCALING_POINTS
+    elif mode == "full":
+        scenarios, scaling_points = FULL_SCENARIOS, FULL_SCALING_POINTS
+    else:
+        raise ValueError(f"unknown bench mode {mode!r}")
+    payload: Dict[str, Any] = {
         "schema": SCHEMA,
-        "quick": quick,
+        "mode": mode,
+        "quick": mode != "full",
         "host": {
             "python": platform.python_version(),
             "machine": platform.machine(),
         },
         "scenarios": [run_scenario(dict(spec)) for spec in scenarios],
     }
+    if scaling_points is not None:
+        payload["scaling"] = run_scaling_sweep(scaling_points)
+    return payload
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description="generate BENCH_service.json")
     parser.add_argument("--out", default="BENCH_service.json")
-    parser.add_argument(
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
         "--quick", action="store_true",
-        help="small scenario set for the CI smoke job",
+        help="small scenario set, no scaling sweep (CI smoke-service)",
+    )
+    mode.add_argument(
+        "--scale-smoke", action="store_true",
+        help="M=1000 scenario + M in {100,1000} scaling sweep "
+             "(CI smoke-service-scale)",
     )
     args = parser.parse_args(argv)
-    payload = run_service_bench(quick=args.quick)
+    bench_mode = (
+        "quick" if args.quick
+        else "scale-smoke" if args.scale_smoke
+        else "full"
+    )
+    payload = run_service_bench(mode=bench_mode)
     with open(args.out, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -146,6 +289,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{scenario['name']}: {metrics['finds_completed']}/"
             f"{metrics['finds_issued']} finds, "
             f"p95={metrics['latency']['p95']}, fingerprints {verdict}",
+            file=sys.stderr,
+        )
+    scaling = payload.get("scaling")
+    if scaling:
+        worst = min(p["ratio_vs_baseline"] for p in scaling["points"])
+        print(
+            f"scaling: worst events/sec ratio vs M={scaling['baseline_m']} "
+            f"baseline = {worst:.2f} (floor {scaling['ratio_floor']})",
             file=sys.stderr,
         )
     print(f"wrote {args.out}", file=sys.stderr)

@@ -48,6 +48,37 @@ def latency_percentiles(latencies: List[float]) -> Dict[str, Optional[float]]:
     }
 
 
+def handover_summary(handovers: Dict[int, int]) -> Dict[str, Any]:
+    """Bucketed summary of per-object handover counts.
+
+    Replaces the verbatim per-object map in the bench artifact (100
+    keys at M=100, 10k at M=10k) with min/mean/max plus a histogram
+    over power-of-two buckets (``0``, ``1``, ``2-3``, ``4-7``, ...).
+    Derived purely from sim-time quantities, so it stays K-invariant.
+    """
+    counts = sorted(handovers.values())
+    if not counts:
+        return {
+            "objects": 0, "min": None, "mean": None, "max": None,
+            "histogram": {},
+        }
+    histogram: Dict[str, int] = {}
+    for value in counts:
+        if value < 2:
+            label = str(value)
+        else:
+            lo = 1 << (value.bit_length() - 1)
+            label = f"{lo}-{2 * lo - 1}"
+        histogram[label] = histogram.get(label, 0) + 1
+    return {
+        "objects": len(counts),
+        "min": counts[0],
+        "mean": sum(counts) / len(counts),
+        "max": counts[-1],
+        "histogram": histogram,
+    }
+
+
 def service_metrics(
     finds: Dict[int, dict],
     handovers: Optional[Dict[int, int]] = None,
@@ -86,9 +117,7 @@ def service_metrics(
         "deadlines_set": len(with_deadline),
         "deadlines_missed": missed,
         "handovers_total": sum(handovers.values()),
-        "handovers_per_object": {
-            str(k): v for k, v in sorted(handovers.items())
-        },
+        "handovers": handover_summary(handovers),
         "mean_find_work": (
             sum(r["work"] for r in records) / len(records) if records else 0.0
         ),

@@ -15,6 +15,7 @@ Typical use::
 
 from __future__ import annotations
 
+import gc
 from typing import Any, Callable, List, Optional
 
 from ..obs._state import OBS as _OBS
@@ -257,6 +258,17 @@ class Simulator:
         fired = 0
         pop_next_before = self._queue.pop_next_before
         hooks = self._after_event
+        # The loop allocates heavily (messages, closures, trace lines)
+        # but creates no reference cycles, so the generational collector
+        # finds nothing — yet its gen-2 passes scan the *entire* live
+        # graph, which grows with the tracked-object count M.  That is
+        # an O(M) tax per batch of allocations and the dominant
+        # M-dependent per-event cost at M=10k (DESIGN.md §9.5).  Pause
+        # automatic collection for the loop's duration; refcounting
+        # still frees everything the loop drops.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
         span = None
         if _OBS.spans_enabled:
             # One span per loop call (not per event) charges the loop's
@@ -288,6 +300,8 @@ class Simulator:
         finally:
             self._running = False
             _EVENTS_FIRED_TOTAL += fired
+            if gc_was_enabled:
+                gc.enable()
             if span is not None:
                 span.__exit__(None, None, None)
         return fired

@@ -15,6 +15,10 @@ result:
   over a tiling, keyed by the frozen down-set, giving shortest paths,
   distances and next hops without per-call BFS.  Paths are byte-for-byte
   the ones the legacy per-call BFS produced.
+* :class:`~repro.topo.distances.DistanceTable` — all-pairs region
+  distances as flat dense-indexed rows with derived distance
+  partitions, one shared table per tiling (the find hot path queries
+  these instead of per-call BFS/scan).
 * :class:`~repro.topo.cache.TopologyCache` — the per-process cache:
   memoized hierarchy construction, one shared :class:`RouteTable` per
   tiling, and regions-at-distance partitions.  ``REPRO_TOPO_CACHE=0``
@@ -38,10 +42,12 @@ from .cache import (
     shared_strip_hierarchy,
     topology_cache,
 )
+from .distances import DistanceTable, distance_table
 from .keys import TopologyKey, grid_key, key_for_config, strip_key
 from .routes import RouteTable
 
 __all__ = [
+    "DistanceTable",
     "RouteTable",
     "TopologyCache",
     "TopologyKey",
@@ -49,6 +55,7 @@ __all__ = [
     "bypass",
     "cache_enabled",
     "charge_setup",
+    "distance_table",
     "grid_key",
     "key_for_config",
     "reset_topology_cache",

@@ -173,22 +173,18 @@ class TopologyCache:
 
         Byte-identical to the legacy full scan
         ``[u for u in tiling.regions() if tiling.distance(u, center) == d]``
-        (same membership, same order), computed once per (tiling, center).
+        (same membership, same order).  Backed by the tiling's shared
+        flat :class:`~repro.topo.distances.DistanceTable`: one BFS row
+        per center, partitions derived from it in region order.
         """
-        by_center = getattr(tiling, "_repro_distance_partitions", None)
-        if by_center is None:
-            by_center = {}
-            tiling._repro_distance_partitions = by_center
-        partition = by_center.get(center)
-        if partition is None:
-            self.stats.partition_misses += 1
-            partition = {}
-            for u in tiling.regions():
-                partition.setdefault(tiling.distance(u, center), []).append(u)
-            by_center[center] = partition
-        else:
+        from .distances import distance_table
+
+        table = distance_table(tiling)
+        if table.index.get(center) in table._partitions:
             self.stats.partition_hits += 1
-        return list(partition.get(distance, ()))
+        else:
+            self.stats.partition_misses += 1
+        return list(table.partitions(center).get(distance, ()))
 
     # -- warm-up --------------------------------------------------------
     def warm(self, keys: Iterable[TopologyKey]) -> int:

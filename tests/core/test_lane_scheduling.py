@@ -1,0 +1,174 @@
+"""O(active) lane scheduling: dirty set, deadline heap, shared wheel.
+
+Edge cases of the §9.5 scheduler (DESIGN.md) that the service-level
+goldens exercise only incidentally:
+
+* a lane that leaves the dirty set with an armed-but-unexpired deadline
+  must be re-dirtied *exactly* at expiry (the deadline heap is the only
+  wakeup channel for quiesced lanes);
+* disarm-then-rearm at the same instant must not lose or double-fire
+  the deadline (stale heap entries are dropped lazily);
+* with every lane idle the wheel must be disarmed and the dirty set
+  empty — no O(M) background churn;
+* property: the dirty-set drain is observationally equivalent to the
+  pre-§9.5 full scan (exact trace CRC) on random service scenarios,
+  which also pins the PR-7 ``timeout_due`` arbitration outcomes.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Find, Grow
+from repro.core.tracker import Tracker
+from repro.scenario import ScenarioConfig
+from repro.service import ARRIVALS, LoadGenerator, TrackingService
+from repro.sim.sharded.core import _tiling_for
+from repro.tioa.timers import INFINITY
+
+
+class TestDeadlineRedirty:
+    def test_quiesced_lane_redirtied_exactly_at_expiry(self, rig):
+        # Satellite-6 regression: the grow receipt dirties lane 3, the
+        # drain finds nothing enabled (timer armed in the future) and
+        # drops it from the dirty set — the armed deadline alone must
+        # bring it back, exactly at expiry.
+        t = rig.tracker((0, 0), 1)
+        child = rig.hierarchy.cluster((0, 0), 0)
+        rig.deliver(t, Grow(cid=child, object_id=3))
+        lane = t.lane(3)
+        assert lane.timer.armed
+        deadline = lane.timer.deadline
+        assert 3 not in t._dirty  # drained: no enabled action yet
+        assert t._lane_wheel is not None
+        assert t._lane_wheel.deadline == deadline
+        # Nothing may fire before the deadline...
+        rig.run(duration=(deadline - rig.sim.now) / 2)
+        assert rig.gcast.of_kind("grow") == []
+        # ...and the grow fires at it.
+        rig.run()
+        grows = rig.gcast.of_kind("grow")
+        assert [p.object_id for _s, _d, p in grows] == [3]
+        assert rig.sim.now == deadline
+        assert lane.p is not None
+
+    def test_find_timeout_redirties_via_wheel(self, rig):
+        # The nbrtimeout leg: lane 5 issues its find query, quiesces
+        # (roundtrip pending), and must escalate at the roundtrip
+        # deadline through the heap -> _timeout_pending -> wheel path.
+        t = rig.tracker((0, 0), 1)
+        rig.deliver(t, Find(cid=t.clust, find_id=9, object_id=5))
+        lane = t.lane(5)
+        assert lane.finding
+        assert lane.nbrtimeout.armed  # query issued by the drain
+        deadline = lane.nbrtimeout.deadline
+        assert 5 not in t._dirty
+        assert not lane.timeout_due
+        rig.gcast.clear()
+        rig.run()
+        assert rig.sim.now == deadline
+        assert lane.timeout_due
+        finds = rig.gcast.of_kind("find")
+        assert [(d, p.object_id) for _s, d, p in finds] == [
+            (t.parent_cluster, 5)
+        ]
+
+    def test_disarm_then_rearm_same_instant_fires_once(self, rig):
+        t = rig.tracker((0, 0), 1)
+        child = rig.hierarchy.cluster((0, 0), 0)
+        rig.deliver(t, Grow(cid=child, object_id=4))
+        lane = t.lane(4)
+        deadline = lane.timer.deadline
+        # Same-instant disarm + rearm at the same deadline strands one
+        # heap entry; the lazy drop must neither lose the deadline nor
+        # fire the grow twice.
+        lane.timer.disarm()
+        assert not lane.timer.armed
+        lane.timer.arm(deadline)
+        rig.run()
+        grows = rig.gcast.of_kind("grow")
+        assert [p.object_id for _s, _d, p in grows] == [4]
+        assert rig.sim.now == deadline
+
+    def test_rearm_earlier_moves_the_wheel_up(self, rig):
+        t = rig.tracker((0, 0), 1)
+        child = rig.hierarchy.cluster((0, 0), 0)
+        rig.deliver(t, Grow(cid=child, object_id=4))
+        lane = t.lane(4)
+        earlier = lane.timer.deadline / 2
+        lane.timer.arm(earlier)
+        assert t._lane_wheel.deadline == earlier
+        rig.run()
+        assert rig.sim.now == earlier
+        assert [p.object_id for _s, _d, p in rig.gcast.of_kind("grow")] == [4]
+
+    def test_simultaneous_lanes_fire_in_object_id_order(self, rig):
+        t = rig.tracker((0, 0), 1)
+        child = rig.hierarchy.cluster((0, 0), 0)
+        for oid in (5, 2, 9):
+            rig.deliver(t, Grow(cid=child, object_id=oid))
+        rig.run()
+        grows = rig.gcast.of_kind("grow")
+        assert [p.object_id for _s, _d, p in grows] == [2, 5, 9]
+
+
+class TestWheelQuiescence:
+    def test_idle_lanes_leave_wheel_disarmed_and_dirty_empty(self, rig):
+        t = rig.tracker((0, 0), 1)
+        child = rig.hierarchy.cluster((0, 0), 0)
+        for oid in (1, 2, 3):
+            rig.deliver(t, Grow(cid=child, object_id=oid))
+        rig.run()
+        # All grows fired; every lane idle again.  No background churn:
+        # the wheel is disarmed, the heap holds no live deadline and the
+        # dirty set is empty.
+        assert t._dirty == set()
+        assert t._lane_wheel is not None and not t._lane_wheel.armed
+        assert t._service_heap() == INFINITY
+        assert t._timeout_pending == set()
+
+    def test_untouched_tracker_never_creates_a_wheel(self, rig):
+        t = rig.tracker((0, 0), 1)
+        rig.deliver(t, Grow(cid=rig.hierarchy.cluster((0, 0), 0)))  # lane 0
+        rig.run()
+        assert t._lane_wheel is None
+        assert t._dirty == set()
+        assert t._deadline_heap == []
+
+
+def _service_config(seed):
+    return ScenarioConfig(r=2, max_level=2, seed=seed, shards=2)
+
+
+class TestDirtySetEquivalence:
+    @settings(max_examples=6, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        arrival=st.sampled_from(ARRIVALS),
+    )
+    def test_dirty_drain_matches_full_scan_bit_for_bit(self, seed, arrival):
+        # The oracle: the pre-§9.5 O(M) scan over every lane.  The
+        # dirty-set drain must produce the identical execution — exact
+        # trace CRC, not just the canonical fingerprint — so the PR-7
+        # timeout_due arbitration goldens are pinned transitively.
+        cfg = _service_config(seed)
+        load = LoadGenerator(
+            tiling=_tiling_for(cfg),
+            n_objects=4,
+            n_finds=8,
+            find_clients=3,
+            arrival=arrival,
+            moves_per_object=2,
+            deadline=60.0,
+        )
+        fast = TrackingService(cfg, engine="plain").run(load, seed=seed)
+        original = Tracker.enabled_outputs
+        Tracker.enabled_outputs = Tracker._enabled_outputs_fullscan
+        try:
+            slow = TrackingService(cfg, engine="plain").run(load, seed=seed)
+        finally:
+            Tracker.enabled_outputs = original
+        assert fast.exact_fingerprint == slow.exact_fingerprint
+        assert fast.canonical_fingerprint == slow.canonical_fingerprint
+        assert fast.metrics == slow.metrics
+        assert fast.finds == slow.finds

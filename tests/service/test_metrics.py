@@ -1,8 +1,9 @@
-"""Unit tests for the service metric aggregation (bench-service/1)."""
+"""Unit tests for the service metric aggregation (bench-service/2)."""
 
 import pytest
 
 from repro.service import latency_percentiles, service_metrics
+from repro.service.metrics import handover_summary
 
 
 def record(
@@ -48,6 +49,31 @@ class TestLatencyPercentiles:
         )
 
 
+class TestHandoverSummary:
+    def test_empty(self):
+        assert handover_summary({}) == {
+            "objects": 0, "min": None, "mean": None, "max": None,
+            "histogram": {},
+        }
+
+    def test_power_of_two_buckets(self):
+        summary = handover_summary({0: 0, 1: 1, 2: 2, 3: 3, 4: 4, 5: 9})
+        assert summary["objects"] == 6
+        assert summary["min"] == 0
+        assert summary["max"] == 9
+        assert summary["mean"] == pytest.approx(19 / 6)
+        assert summary["histogram"] == {
+            "0": 1, "1": 1, "2-3": 2, "4-7": 1, "8-15": 1,
+        }
+
+    def test_size_independent_of_object_count(self):
+        # The whole point: 10k objects with similar counts collapse to
+        # a handful of buckets instead of 10k artifact keys.
+        summary = handover_summary({i: 4 + (i % 4) for i in range(10_000)})
+        assert summary["objects"] == 10_000
+        assert summary["histogram"] == {"4-7": 10_000}
+
+
 class TestServiceMetrics:
     def test_counts_and_rates(self):
         finds = {
@@ -60,7 +86,10 @@ class TestServiceMetrics:
         assert metrics["finds_completed"] == 2
         assert metrics["completion_rate"] == pytest.approx(2 / 3)
         assert metrics["handovers_total"] == 4
-        assert metrics["handovers_per_object"] == {"0": 4}
+        assert metrics["handovers"] == {
+            "objects": 1, "min": 4, "mean": 4.0, "max": 4,
+            "histogram": {"4-7": 1},
+        }
         assert metrics["mean_find_work"] == pytest.approx(10.0)
 
     def test_empty_finds(self):
