@@ -62,6 +62,7 @@ RUNNERS: Dict[str, str] = {
     "chaos": "repro.analysis.recovery:run_chaos",
     "sharded_walk": "repro.sim.sharded.runner:run_sharded_walk",
     "reference_walk": "repro.sim.sharded.runner:run_reference_walk",
+    "mobility_regime": "repro.mobility.gen.workload:run_mobility_regime",
 }
 
 

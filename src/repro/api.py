@@ -32,7 +32,15 @@ Grouped exports:
   :func:`load`, :func:`restore_scenario`, :func:`bisect_divergence`,
   :class:`Variant`;
 * **experiment sweeps** — :func:`run_find_sweep`, :func:`run_move_walk`,
-  :func:`run_service_mk`, :func:`run_chaos`.
+  :func:`run_service_mk`, :func:`run_chaos`, :func:`run_mobility_regime`,
+  :func:`mobility_jobs`;
+* **mobility generation** — :class:`GeneratorSpec` and the combinators
+  (:class:`Walk`, :class:`WaypointGraph`, :class:`Obstacles`,
+  :class:`Convoy`, :class:`Hotspots`, :class:`Dither`, :class:`Replay`,
+  :class:`Compose`, :class:`Switch`, :class:`TimeSlice`),
+  :func:`mobility_preset` / :func:`mobility_presets`,
+  :class:`SpeedLimits`, :class:`MobilityTrace`, :class:`TraceRecorder`,
+  :func:`generate_traces` (DESIGN.md §10).
 """
 
 from __future__ import annotations
@@ -53,6 +61,28 @@ from .ckpt import (
     snapshot_scenario,
 )
 from .core.vinestalk import VineStalk
+from .mobility.gen import (
+    Compose,
+    Convoy,
+    Dither,
+    GeneratedWalk,
+    GeneratorSpec,
+    Hotspots,
+    MobilityTrace,
+    Obstacles,
+    Replay,
+    SpeedLimits,
+    Switch,
+    TimeSlice,
+    TraceRecorder,
+    Walk,
+    WaypointGraph,
+    mobility_jobs,
+    run_mobility_regime,
+)
+from .mobility.gen import generate as generate_traces
+from .mobility.gen import preset as mobility_preset
+from .mobility.gen import preset_names as mobility_presets
 from .scenario import Scenario, ScenarioConfig, build
 from .service import (
     LoadGenerator,
@@ -111,4 +141,25 @@ __all__ = [
     "run_find_sweep",
     "run_move_walk",
     "run_service_mk",
+    "run_mobility_regime",
+    "mobility_jobs",
+    # mobility generation (DESIGN.md §10)
+    "GeneratorSpec",
+    "Walk",
+    "WaypointGraph",
+    "Obstacles",
+    "Convoy",
+    "Hotspots",
+    "Dither",
+    "Replay",
+    "Compose",
+    "Switch",
+    "TimeSlice",
+    "GeneratedWalk",
+    "MobilityTrace",
+    "TraceRecorder",
+    "SpeedLimits",
+    "generate_traces",
+    "mobility_preset",
+    "mobility_presets",
 ]

@@ -21,7 +21,11 @@ Commands:
   workload through :class:`~repro.service.TrackingService` on both
   engines and report per-find latency metrics plus the cross-engine
   fingerprint verdict (CI's smoke-service job exercises the same path
-  via ``repro.service.harness``).
+  via ``repro.service.harness``);
+* ``mobility`` — run the E-series tracked walk across generated mobility
+  regimes (:mod:`repro.mobility.gen` presets): per-regime work, §VI
+  speed verdict and trace fingerprints, with an optional sharded-engine
+  cross-check (CI's smoke-mobility job runs this with ``--json``).
 
 The world-shape flags (``--r``, ``--max-level``, ``--seed``) are shared
 by every world-building command via a common parent parser; each command
@@ -213,6 +217,30 @@ def _build_parser() -> argparse.ArgumentParser:
     service.add_argument("--profile", action="store_true",
                          help="run each engine with obs spans enabled and "
                               "report per-phase self-time")
+
+    mobility = sub.add_parser(
+        "mobility", parents=[_common_flags(r=2, max_level=2, seed=11), jsonf],
+        help="tracked walk across generated mobility regimes "
+             "(repro.mobility.gen presets)",
+    )
+    mobility.add_argument(
+        "--regimes", default="all",
+        help='comma-separated preset names, or "all" (the full registry)',
+    )
+    mobility.add_argument("--list", action="store_true", dest="list_regimes",
+                          help="list registered regime presets and exit")
+    mobility.add_argument("--moves", type=int, default=8,
+                          help="generated moves per object (default 8)")
+    mobility.add_argument("--finds", type=int, default=4,
+                          help="finds issued during the walk (default 4)")
+    mobility.add_argument("--objects", type=int, default=1,
+                          help="tracked objects (convoys expand on top)")
+    mobility.add_argument("--shards", type=int, default=0,
+                          help="also run at K shards and cross-check the "
+                               "fingerprint (0 = reference engine only)")
+    mobility.add_argument("--mode", choices=("concurrent", "atomic"),
+                          default="concurrent",
+                          help="§VI speed-restriction mode (default concurrent)")
     return parser
 
 
@@ -713,6 +741,114 @@ def cmd_service(args) -> int:
     return 0 if match else 1
 
 
+def cmd_mobility(args) -> int:
+    from .mobility.gen import preset_names, run_mobility_regime
+
+    known = preset_names()
+    if args.list_regimes:
+        if args.json:
+            _emit("mobility", {"regimes": list(known)})
+        else:
+            for name in known:
+                print(name)
+        return 0
+    if args.regimes == "all":
+        regimes = known
+    else:
+        regimes = tuple(name.strip() for name in args.regimes.split(",") if name.strip())
+        unknown = [name for name in regimes if name not in known]
+        if unknown:
+            print(f"unknown regimes: {', '.join(unknown)}", file=sys.stderr)
+            print(f"registered: {', '.join(known)}", file=sys.stderr)
+            return 2
+    rows = []
+    for name in regimes:
+        result = run_mobility_regime(
+            regime=name,
+            r=args.r,
+            max_level=args.max_level,
+            seed=args.seed,
+            n_moves=args.moves,
+            n_finds=args.finds,
+            n_objects=args.objects,
+            shards=args.shards,
+            mode=args.mode,
+        )
+        rows.append(result)
+    all_speed_ok = all(row.speed_ok for row in rows)
+    all_match = all(
+        row.fingerprint_match for row in rows if row.fingerprint_match is not None
+    )
+    if args.json:
+        _emit("mobility", {
+            "r": args.r,
+            "max_level": args.max_level,
+            "seed": args.seed,
+            "moves": args.moves,
+            "finds": args.finds,
+            "mode": args.mode,
+            "shards": args.shards,
+            "all_speed_ok": all_speed_ok,
+            "all_fingerprints_match": all_match,
+            "regimes": [
+                {
+                    "regime": row.regime,
+                    "objects": row.n_objects,
+                    "steps_scripted": row.steps_scripted,
+                    "finds_completed": row.finds_completed,
+                    "finds_issued": row.finds_issued,
+                    "events": row.events,
+                    "messages_sent": row.messages_sent,
+                    "moves_observed": row.moves_observed,
+                    "move_work": row.move_work,
+                    "find_work": row.find_work,
+                    "min_dwell": row.min_dwell,
+                    "mean_dwell": row.mean_dwell,
+                    "speed_ok": row.speed_ok,
+                    "speed_violation": row.speed_violation,
+                    "touched_levels": {
+                        str(level): count
+                        for level, count in sorted(row.touched_levels.items())
+                    },
+                    "canonical_fingerprint": row.canonical_fingerprint,
+                    "sharded_fingerprint": row.sharded_fingerprint,
+                    "fingerprint_match": row.fingerprint_match,
+                }
+                for row in rows
+            ],
+        })
+        return 0 if (all_speed_ok and all_match) else 1
+    print(
+        f"mobility: {len(rows)} regimes, r={args.r} MAX={args.max_level} "
+        f"seed={args.seed} moves={args.moves} finds={args.finds} "
+        f"mode={args.mode}"
+        + (f" K={args.shards}" if args.shards else "")
+    )
+    header = (
+        f"{'regime':<20} {'obj':>3} {'moves':>5} {'finds':>5} "
+        f"{'move work':>10} {'find work':>10} {'min dwell':>9} {'§VI':>4}"
+        + ("  engine" if args.shards else "")
+    )
+    print(header)
+    for row in rows:
+        line = (
+            f"{row.regime:<20} {row.n_objects:>3} {row.moves_observed:>5} "
+            f"{row.finds_completed:>2}/{row.finds_issued:<2} "
+            f"{row.move_work:>10.0f} {row.find_work:>10.0f} "
+            f"{row.min_dwell:>9.2f} {'ok' if row.speed_ok else 'VIOL':>4}"
+        )
+        if args.shards:
+            line += "  " + (
+                "MATCH" if row.fingerprint_match else "DIVERGED"
+            )
+        print(line)
+    if not all_speed_ok:
+        for row in rows:
+            if row.speed_violation:
+                print(f"  {row.regime}: {row.speed_violation}")
+    return 0 if (all_speed_ok and all_match) else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -726,6 +862,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "bisect": cmd_bisect,
         "sharded": cmd_sharded,
         "service": cmd_service,
+        "mobility": cmd_mobility,
     }
     return handlers[args.command](args)
 

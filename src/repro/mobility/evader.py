@@ -15,7 +15,9 @@ from typing import Callable, List, Optional
 from ..geometry.regions import RegionId
 from ..geometry.tiling import Tiling
 from ..sim.engine import Simulator
-from .models import MobilityModel
+from ..obs._state import OBS
+from ..obs.events import EvaderMoved
+from .models import MobilityContractError, MobilityModel
 
 # Observers receive (event, region) with event in {"move", "left"}.
 EvaderObserver = Callable[[str, RegionId], None]
@@ -63,6 +65,7 @@ class Evader:
         self.object_id = object_id
         self.region: Optional[RegionId] = None
         self.moves_made = 0
+        self.stays_made = 0
         self.distance_traveled = 0
         self._observers: List[EvaderObserver] = []
         self._running = False
@@ -86,6 +89,15 @@ class Evader:
 
     def _emit(self, event: str, region: RegionId) -> None:
         self.sim.trace.record(self.sim.now, self.name, event, region)
+        if OBS.events_enabled:
+            OBS.emit(
+                EvaderMoved(
+                    time=self.sim.now,
+                    event=event,
+                    region=region,
+                    object_id=self.object_id,
+                )
+            )
         for observer in self._observers:
             observer(event, region)
 
@@ -109,10 +121,28 @@ class Evader:
         return region
 
     def step(self) -> RegionId:
-        """Perform one relocation chosen by the mobility model."""
+        """Perform one relocation chosen by the mobility model.
+
+        The stay contract: a model whose ``allows_stay`` is ``True``
+        (all historical built-ins) may return the current region to
+        idle — the evader burns the dwell period without emitting
+        ``left``/``move`` and counts it in :attr:`stays_made`.  A
+        move-strict model (``allows_stay=False``, every generated
+        model) must always move; a stay raises
+        :class:`~repro.mobility.models.MobilityContractError` instead
+        of being silently absorbed.
+        """
         if self.region is None:
             raise RuntimeError("evader has not entered the space")
         target = self.model.next_region(self.region, self.tiling, self.rng)
+        if target == self.region:
+            if not getattr(self.model, "allows_stay", True):
+                raise MobilityContractError(
+                    f"{type(self.model).__name__} is move-strict but "
+                    f"returned the current region {target!r}"
+                )
+            self.stays_made += 1
+            return self.region
         return self.move_to(target)
 
     def move_to(self, target: RegionId) -> RegionId:

@@ -1,0 +1,144 @@
+"""Non-uniform deployment generation (the placement side of the DSL).
+
+A :class:`DeploymentSpec` is a small frozen description of *where the
+physical nodes go*; ``counts(tiling, rng)`` resolves it to a per-region
+node count using the caller's seeded rng, and
+:func:`repro.physical.deployment.generated` turns the counts into live
+:class:`~repro.physical.node.PhysicalNode` populations.  Like the
+mobility combinators, specs are picklable and all placement randomness
+flows through the passed stream, so deployments are reproducible and
+fork-divergent under the registry discipline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ...geometry.regions import RegionId
+from .models import masked_tiling
+
+
+@dataclass(frozen=True)
+class DeploymentSpec:
+    """Base class for deployment generators."""
+
+    def counts(self, tiling, rng) -> Dict[RegionId, int]:
+        """Per-region node counts over ``tiling`` (regions may be 0)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class UniformNodes(DeploymentSpec):
+    """``per_region`` nodes in every region (the classic deployment)."""
+
+    per_region: int = 1
+
+    def __post_init__(self) -> None:
+        if self.per_region < 1:
+            raise ValueError("per_region must be >= 1")
+
+    def counts(self, tiling, rng):
+        return {r: self.per_region for r in tiling.regions()}
+
+
+@dataclass(frozen=True)
+class ScatterNodes(DeploymentSpec):
+    """``total`` nodes scattered uniformly at random over the regions."""
+
+    total: int = 16
+
+    def __post_init__(self) -> None:
+        if self.total < 1:
+            raise ValueError("total must be >= 1")
+
+    def counts(self, tiling, rng):
+        regions = list(tiling.regions())
+        out = {r: 0 for r in regions}
+        for _ in range(self.total):
+            out[regions[rng.randrange(len(regions))]] += 1
+        return out
+
+
+@dataclass(frozen=True)
+class HotspotNodes(DeploymentSpec):
+    """``total`` nodes concentrated around attraction points.
+
+    ``hotspots`` are explicit centers (sampled ``k`` at resolve time
+    when empty); region weight decays geometrically with tiling distance
+    to the nearest hotspot (``falloff`` per hop), and nodes are
+    apportioned largest-remainder so the split is deterministic given
+    the weights.
+    """
+
+    total: int = 16
+    hotspots: Tuple[RegionId, ...] = ()
+    k: int = 2
+    falloff: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.total < 1:
+            raise ValueError("total must be >= 1")
+        if not self.hotspots and self.k < 1:
+            raise ValueError("need at least one hotspot")
+        if self.falloff <= 1.0:
+            raise ValueError("falloff must be > 1")
+
+    def counts(self, tiling, rng):
+        regions = list(tiling.regions())
+        if self.hotspots:
+            centers = list(self.hotspots)
+            missing = set(centers) - set(regions)
+            if missing:
+                raise ValueError(f"hotspots not in the tiling: {sorted(missing)}")
+        else:
+            centers = rng.sample(regions, min(self.k, len(regions)))
+        weights = {
+            r: self.falloff ** -min(tiling.distance(r, c) for c in centers)
+            for r in regions
+        }
+        scale = self.total / sum(weights.values())
+        out = {r: int(weights[r] * scale) for r in regions}
+        remainders = sorted(
+            regions, key=lambda r: (-(weights[r] * scale - out[r]), r)
+        )
+        short = self.total - sum(out.values())
+        for r in remainders[:short]:
+            out[r] += 1
+        return out
+
+
+@dataclass(frozen=True)
+class MaskedNodes(DeploymentSpec):
+    """Deploy ``inner`` on an obstacle-masked sub-tiling (obstacle
+    regions get zero nodes; the walkable remainder absorbs them)."""
+
+    inner: DeploymentSpec = field(default_factory=UniformNodes)
+    regions: Tuple[RegionId, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.regions:
+            raise ValueError("masked deployment needs obstacle regions")
+
+    def counts(self, tiling, rng):
+        masked = masked_tiling(tiling, self.regions)
+        inner = self.inner.counts(masked, rng)
+        out = {r: 0 for r in tiling.regions()}
+        out.update(inner)
+        return out
+
+
+def place(spec: DeploymentSpec, tiling, rng) -> List[RegionId]:
+    """Expand a deployment spec into a region-sorted placement list.
+
+    The list is sorted by region id (then repeated per count), so node
+    ids assigned in placement order are a pure function of the counts —
+    independent of dict iteration order.
+    """
+    counts = spec.counts(tiling, rng)
+    placements: List[RegionId] = []
+    for region in sorted(counts):
+        placements.extend([region] * counts[region])
+    if not placements:
+        raise ValueError("deployment placed no nodes")
+    return placements

@@ -1,0 +1,295 @@
+"""Seeded trace generation, recording, and workload export.
+
+``generate()`` walks a resolved generator over the hierarchy's tiling
+and emits §VI-legal :class:`MobilityTrace` objects: each dwell is the
+base dwell scaled by the model's per-step ``dwell_factor`` and clamped
+from below by the :class:`~repro.mobility.gen.limits.SpeedLimits` floor
+for the move that *arrived* at the current region (the enter pays the
+worst-case floor, like the paper's join).
+
+Determinism contract: all step randomness is drawn from
+``RngRegistry(seed)`` stream ``"mobility.gen:<object_id>"`` (find
+placement from ``"mobility.gen:finds"``), so the same ``(spec, seed)``
+pair is byte-identical, and ``fork`` re-derives every stream for
+divergent replicas — the property suite pins both directions.
+
+Recording closes the loop: :class:`TraceRecorder` taps a live evader's
+observer hook (or :func:`trace_from_obs` reads ``EvaderMoved`` obs
+events back out of a collector), and the resulting trace replays
+through :class:`~repro.mobility.gen.spec.Replay` /
+:func:`trace_workload` with a bit-identical dispatch fingerprint.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ...geometry.regions import RegionId
+from ...sim.rng import RngRegistry
+from ...sim.sharded.workload import (
+    EvaderEnter,
+    EvaderStep,
+    IssueFind,
+    ScriptedWorkload,
+)
+from .limits import SpeedLimits
+from .models import MobilityContractError
+from .spec import Convoy, GeneratorSpec
+
+#: Per-object (and per-find) time stagger, mirroring the service
+#: load generator: keeps causally-independent same-instant events
+#: impossible while staying far below any §VI dwell floor.
+STAGGER = 1.0 / 1024.0
+
+
+@dataclass(frozen=True)
+class MobilityTrace:
+    """One evader's timed region path: ``steps[0]`` is the enter."""
+
+    steps: Tuple[Tuple[float, RegionId], ...]
+    object_id: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("a trace needs at least the enter step")
+        times = [t for t, _ in self.steps]
+        if times != sorted(times) or len(set(times)) != len(times):
+            raise ValueError("trace times must be strictly increasing")
+
+    @property
+    def regions(self) -> Tuple[RegionId, ...]:
+        return tuple(region for _, region in self.steps)
+
+    @property
+    def times(self) -> Tuple[float, ...]:
+        return tuple(t for t, _ in self.steps)
+
+    def dwells(self) -> Tuple[float, ...]:
+        times = self.times
+        return tuple(b - a for a, b in zip(times, times[1:]))
+
+    def crc(self) -> int:
+        """A stable content fingerprint (used by the golden tests)."""
+        payload = repr((self.object_id, self.steps)).encode()
+        return zlib.crc32(payload) & 0xFFFFFFFF
+
+
+def generate(
+    spec: GeneratorSpec,
+    hierarchy,
+    n_moves: int,
+    seed: int = 0,
+    fork: Optional[int] = None,
+    n_objects: int = 1,
+    limits: Optional[SpeedLimits] = None,
+    base_dwell: Optional[float] = None,
+    delta: float = 1.0,
+    e: float = 0.5,
+    mode: str = "concurrent",
+    start_time: float = 0.0,
+) -> Tuple[MobilityTrace, ...]:
+    """Generate §VI-legal traces for ``n_objects`` evaders.
+
+    ``base_dwell`` is the pre-clamp dwell target (``None`` means "the
+    floor itself", i.e. move as fast as §VI allows); the model's
+    ``dwell_factor`` scales it per step, and the §VI floor clamps from
+    below either way.  A :class:`~repro.mobility.gen.spec.Convoy` spec
+    expands its followers here (lagged copies of the leader's path), so
+    ``n_objects`` grows to ``1 + followers`` automatically.
+    """
+    if n_moves < 1:
+        raise ValueError("need at least one move")
+    registry = RngRegistry(seed)
+    if fork is not None:
+        registry = registry.fork(fork)
+    if limits is None:
+        limits = SpeedLimits.for_hierarchy(hierarchy, delta=delta, e=e, mode=mode)
+    if isinstance(spec, Convoy):
+        leader = _generate_one(
+            spec, hierarchy, n_moves, registry, 0, limits, base_dwell, start_time
+        )
+        traces = [leader]
+        for k in range(1, max(n_objects, 1 + spec.followers)):
+            traces.append(_lagged_follower(leader, k, spec.offset))
+        return tuple(traces)
+    return tuple(
+        _generate_one(
+            spec, hierarchy, n_moves, registry, k, limits, base_dwell, start_time
+        )
+        for k in range(n_objects)
+    )
+
+
+def generate_trace(spec, hierarchy, n_moves, **kwargs) -> MobilityTrace:
+    """Single-object convenience wrapper around :func:`generate`."""
+    return generate(spec, hierarchy, n_moves, n_objects=1, **kwargs)[0]
+
+
+def _generate_one(
+    spec: GeneratorSpec,
+    hierarchy,
+    n_moves: int,
+    registry: RngRegistry,
+    object_id: int,
+    limits: SpeedLimits,
+    base_dwell: Optional[float],
+    start_time: float,
+) -> MobilityTrace:
+    rng = registry.stream(f"mobility.gen:{object_id}")
+    model = spec.resolve(hierarchy, rng)
+    start = model.start_region(hierarchy.tiling, rng)
+    t = start_time + object_id * STAGGER
+    steps: List[Tuple[float, RegionId]] = [(t, start)]
+    current = start
+    for i in range(n_moves):
+        target = model.next_region(current, hierarchy.tiling, rng)
+        if target == current:
+            if getattr(model, "allows_stay", True):
+                break  # finite replay exhausted; the trace simply ends
+            raise MobilityContractError(
+                f"{type(model).__name__} returned the current region {current!r}"
+            )
+        if i == 0:
+            floor = limits.enter_floor
+        else:
+            floor = limits.required(hierarchy, steps[-2][1], current)
+        factor = getattr(model, "dwell_factor", lambda c, n: 1.0)(current, target)
+        dwell = max(floor, (base_dwell if base_dwell is not None else floor) * factor)
+        t += dwell
+        steps.append((t, target))
+        current = target
+    return MobilityTrace(steps=tuple(steps), object_id=object_id)
+
+
+def _lagged_follower(leader: MobilityTrace, k: int, offset: int) -> MobilityTrace:
+    """Follower ``k`` repeats the leader's path lagged ``k*offset`` steps.
+
+    Each follower move mirrors a leader move between the *same* region
+    pair at the leader's own (later) step times, so the §VI floors the
+    leader satisfied carry over move-for-move; the ``k * STAGGER`` shift
+    keeps all group events causally ordered.
+    """
+    lag = k * offset
+    shift = k * STAGGER
+    path = leader.regions
+    times = leader.times
+    steps: List[Tuple[float, RegionId]] = [(times[0] + shift, path[0])]
+    for i in range(lag + 1, len(path)):
+        steps.append((times[i] + shift, path[i - lag]))
+    return MobilityTrace(steps=tuple(steps), object_id=k)
+
+
+def trace_workload(
+    traces: Sequence[MobilityTrace],
+    n_finds: int = 0,
+    find_clients: int = 4,
+    hierarchy=None,
+    seed: int = 0,
+    deadline: Optional[float] = None,
+    settle: float = 0.0,
+) -> ScriptedWorkload:
+    """Export generated traces as a canonical engine script.
+
+    Finds are drawn from the registry's ``"mobility.gen:finds"`` stream:
+    origins rotate over ``find_clients`` seeded client regions, targets
+    over the traced objects, and issue times are spread across the
+    movement window with the usual ``j/1024`` stagger plus a uniqueness
+    nudge (no two script actions may share an instant).  ``settle``
+    extends the horizon past the last move so trailing finds complete.
+    """
+    if not traces:
+        raise ValueError("need at least one trace")
+    actions: List[object] = []
+    used = set()
+
+    def unique(t: float) -> float:
+        while t in used:
+            t += STAGGER / 4.0
+        used.add(t)
+        return t
+
+    for trace in traces:
+        t0, start = trace.steps[0]
+        actions.append(
+            EvaderEnter(time=unique(t0), region=start, object_id=trace.object_id)
+        )
+        for t, region in trace.steps[1:]:
+            actions.append(
+                EvaderStep(time=unique(t), target=region, object_id=trace.object_id)
+            )
+    horizon = max(tr.steps[-1][0] for tr in traces)
+    if n_finds:
+        rng = RngRegistry(seed).stream("mobility.gen:finds")
+        if hierarchy is not None:
+            regions = list(hierarchy.tiling.regions())
+        else:
+            regions = sorted({r for tr in traces for r in tr.regions})
+        clients = [
+            regions[rng.randrange(len(regions))]
+            for _ in range(min(find_clients, len(regions)))
+        ]
+        first = min(tr.steps[0][0] for tr in traces)
+        span = max(horizon - first, 1.0)
+        for j in range(n_finds):
+            frac = (j + 1) / (n_finds + 1)
+            t = unique(first + frac * span + j * STAGGER)
+            actions.append(
+                IssueFind(
+                    time=t,
+                    origin=clients[j % len(clients)],
+                    find_id=j + 1,
+                    object_id=traces[j % len(traces)].object_id,
+                    deadline=deadline,
+                )
+            )
+    actions.sort(key=lambda a: a.time)
+    return ScriptedWorkload(actions=tuple(actions), horizon=horizon + settle)
+
+
+class TraceRecorder:
+    """Records a live evader's ``enter``/``move`` stream as a trace.
+
+    Attach before ``enter()``; the recorder taps the evader's observer
+    hook, so recording is engine-neutral and costs one list append per
+    relocation.
+    """
+
+    def __init__(self) -> None:
+        self._steps: List[Tuple[float, RegionId]] = []
+        self._evader = None
+
+    def attach(self, evader) -> "TraceRecorder":
+        self._evader = evader
+        evader.observe(self._on_event)
+        return self
+
+    def _on_event(self, event: str, region: RegionId) -> None:
+        # The enter emits the first "move" (evader.py); "left" is skipped.
+        if event == "move":
+            self._steps.append((self._evader.sim.now, region))
+
+    def trace(self, object_id: Optional[int] = None) -> MobilityTrace:
+        if not self._steps:
+            raise ValueError("no enter/move events recorded yet")
+        oid = self._evader.object_id if object_id is None else object_id
+        return MobilityTrace(steps=tuple(self._steps), object_id=oid)
+
+
+def trace_from_obs(events: Iterable, object_id: int = 0) -> MobilityTrace:
+    """Rebuild a trace from recorded ``EvaderMoved`` obs events.
+
+    Accepts any iterable of obs events (e.g. a collector's buffer);
+    non-mobility events and other objects are filtered out.
+    """
+    steps = [
+        (ev.time, ev.region)
+        for ev in events
+        if getattr(ev, "kind", None) == "evader-moved"
+        and ev.object_id == object_id
+        and ev.event == "move"
+    ]
+    if not steps:
+        raise ValueError(f"no EvaderMoved events for object {object_id}")
+    return MobilityTrace(steps=tuple(steps), object_id=object_id)

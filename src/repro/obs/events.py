@@ -22,7 +22,8 @@ from typing import Any, ClassVar, Dict, Tuple
 #: Version stamp carried by every exported event dict.  Bump when any
 #: event's fields change shape.
 #: 2: path/find events gained a trailing ``object_id`` (DESIGN.md §9).
-OBS_EVENT_SCHEMA = 2
+#: 3: new ``EvaderMoved`` mobility event (record/replay, DESIGN.md §10).
+OBS_EVENT_SCHEMA = 3
 
 
 @dataclass(frozen=True)
@@ -143,8 +144,25 @@ class ConformanceViolation:
     detail: str
 
 
+@dataclass(frozen=True)
+class EvaderMoved:
+    """An evader emitted ``move``/``left`` (the augmented GPS stream).
+
+    ``region`` is the raw :data:`~repro.geometry.regions.RegionId`, so
+    an in-process collector can rebuild an exact replayable trace from
+    these events (:func:`repro.mobility.gen.trace.trace_from_obs`).
+    """
+
+    kind: ClassVar[str] = "evader-moved"
+    time: float
+    event: str
+    region: Any
+    object_id: int = 0
+
+
 #: Every event type, for schema introspection and tests.
 EVENT_TYPES: Tuple[type, ...] = (
+    EvaderMoved,
     GrowSent,
     ShrinkSent,
     FoundAnnounced,

@@ -2,7 +2,11 @@
 
 Helpers that place :class:`~repro.physical.node.PhysicalNode` fleets
 over a tiling: one node per region (guaranteeing every VSA is
-emulatable), a uniformly random scatter, or a density-based deployment.
+emulatable), a uniformly random scatter, a density-based deployment, or
+— via :func:`generated` — any declarative
+:class:`~repro.mobility.gen.deploy.DeploymentSpec` (hotspot
+concentrations, obstacle-masked placements) from the generator
+framework (DESIGN.md §10).
 """
 
 from __future__ import annotations
@@ -63,6 +67,37 @@ def uniform_random(
             rng=random.Random(rng.random()),
         )
         for i in range(count)
+    ]
+
+
+def generated(
+    sim: Simulator,
+    tiling: Tiling,
+    spec,
+    rng: random.Random,
+    model: Optional[MobilityModel] = None,
+    dwell: float = 1.0,
+    start_id: int = 0,
+) -> List[PhysicalNode]:
+    """Deploy nodes per a :class:`~repro.mobility.gen.deploy.DeploymentSpec`.
+
+    Placement randomness draws from ``rng`` (pass a registry stream for
+    reproducible deployments); node ids follow region-sorted placement
+    order, so the fleet layout is a pure function of ``(spec, rng)``.
+    """
+    from ..mobility.gen.deploy import place
+
+    return [
+        PhysicalNode(
+            start_id + i,
+            sim,
+            tiling,
+            region,
+            model=model,
+            dwell=dwell,
+            rng=random.Random(rng.random()) if model is not None else None,
+        )
+        for i, region in enumerate(place(spec, tiling, rng))
     ]
 
 

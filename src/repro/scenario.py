@@ -93,6 +93,15 @@ class ScenarioConfig:
             (DESIGN.md §9); this knob parameterizes load generation.
         find_clients: Service scenarios: how many distinct client
             origin regions the load generator draws finds from.
+        mobility: Optional mobility regime — a registry preset name
+            (:func:`repro.mobility.gen.preset_names`) or a picklable
+            :class:`~repro.mobility.gen.spec.GeneratorSpec` tree.
+            ``build`` resolves it against the world's hierarchy using
+            the ``"mobility"`` stream of ``RngRegistry(seed)`` and
+            exposes the result on ``Scenario.mobility_model`` (plus the
+            resolved spec on ``Scenario.mobility_spec``), ready to hand
+            to ``system.make_evader``.  ``None`` keeps the classic
+            caller-supplied-model path.
     """
 
     r: int = 3
@@ -115,6 +124,7 @@ class ScenarioConfig:
     stable_fault_draws: bool = False
     n_objects: int = 1
     find_clients: int = 4
+    mobility: Optional[Any] = None
 
     def __post_init__(self) -> None:
         if isinstance(self.system, str):
@@ -135,6 +145,12 @@ class ScenarioConfig:
             raise ValueError(
                 f"find_clients must be >= 1, got {self.find_clients}"
             )
+        if self.mobility is not None:
+            from .mobility.gen.workload import resolve_spec
+
+            # Validates eagerly: unknown preset names and malformed
+            # spec trees fail at config time, not inside build().
+            resolve_spec(self.mobility)
 
     def __setstate__(self, state: Dict[str, Any]) -> None:
         # Pickles written before a field existed (e.g. ckpt/1 snapshots
@@ -168,6 +184,11 @@ class Scenario:
         accountant: Attached work accountant (None for analytic
             baselines).
         injector: Armed fault injector (None without a fault plan).
+        mobility_spec: The resolved generator spec when the config named
+            a mobility regime (None otherwise).
+        mobility_model: A fresh mobility model resolved from
+            ``mobility_spec`` (seeded from ``config.seed``), ready for
+            ``system.make_evader(model=...)``.
     """
 
     config: ScenarioConfig
@@ -175,6 +196,8 @@ class Scenario:
     hierarchy: Any
     accountant: Optional[Any] = None
     injector: Optional[Any] = None
+    mobility_spec: Optional[Any] = None
+    mobility_model: Optional[Any] = None
 
     @property
     def sim(self):
@@ -348,13 +371,30 @@ def _build_timed(
 
             hierarchy = grid_hierarchy(config.r, config.max_level)
 
+    mobility_spec = None
+    mobility_model = None
+    if config.mobility is not None:
+        from .mobility.gen.workload import resolve_spec
+        from .sim.rng import RngRegistry
+
+        mobility_spec = resolve_spec(config.mobility)
+        mobility_model = mobility_spec.resolve(
+            hierarchy, RngRegistry(config.seed).stream("mobility")
+        )
+
     if isinstance(config.system, type):
         system = _build_class(config, hierarchy)
     else:
         system = SYSTEM_BUILDERS[config.system](config, hierarchy)
 
     if config.is_analytic:
-        return Scenario(config=config, system=system, hierarchy=hierarchy)
+        return Scenario(
+            config=config,
+            system=system,
+            hierarchy=hierarchy,
+            mobility_spec=mobility_spec,
+            mobility_model=mobility_model,
+        )
 
     system.sim.trace.enabled = config.trace
     # Lazy: repro.analysis imports repro.analysis.experiments, which
@@ -378,6 +418,8 @@ def _build_timed(
         hierarchy=hierarchy,
         accountant=accountant,
         injector=injector,
+        mobility_spec=mobility_spec,
+        mobility_model=mobility_model,
     )
 
 

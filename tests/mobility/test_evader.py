@@ -4,6 +4,7 @@ import pytest
 
 from repro.geometry import GridTiling
 from repro.mobility import Evader, FixedPath, RandomNeighborWalk
+from repro.mobility.models import MobilityContractError, MobilityModel, Stationary
 from repro.sim import Simulator
 
 
@@ -106,3 +107,73 @@ def test_invalid_dwell_rejected(rig):
     sim, tiling = rig
     with pytest.raises(ValueError):
         Evader(sim, tiling, RandomNeighborWalk(), 0.0)
+
+
+# ----------------------------------------------------------------------
+# The stay contract (regression for the silent-dwell-burn edge case):
+# a permissive model returning the current region burns the dwell and
+# counts a stay; a move-strict generated model raising instead of the
+# tracker silently observing no relocation.
+# ----------------------------------------------------------------------
+def test_permissive_stay_burns_the_dwell_without_emitting(rig):
+    sim, tiling = rig
+    evader = Evader(sim, tiling, Stationary(region=(1, 1)), 1.0)
+    events = []
+    evader.enter()
+    evader.observe(lambda ev, region: events.append(ev))
+    assert evader.step() == (1, 1)
+    assert events == []  # no left/move pair for a stay
+    assert evader.stays_made == 1
+    assert evader.moves_made == 0
+
+
+def test_periodic_stays_accumulate_without_moves(rig):
+    sim, tiling = rig
+    evader = Evader(sim, tiling, Stationary(region=(2, 2)), 2.0)
+    evader.enter()
+    evader.start()
+    sim.run_until(6.5)
+    assert evader.region == (2, 2)
+    assert evader.stays_made == 3
+    assert evader.moves_made == 0
+
+
+def test_move_strict_model_stay_raises(rig):
+    sim, tiling = rig
+
+    class StrictStationary(MobilityModel):
+        allows_stay = False
+
+        def start_region(self, tiling, rng):
+            return (0, 0)
+
+        def next_region(self, current, tiling, rng):
+            return current
+
+    evader = Evader(sim, tiling, StrictStationary(), 1.0)
+    evader.enter()
+    with pytest.raises(MobilityContractError, match="move-strict"):
+        evader.step()
+    # The failed step changed nothing observable.
+    assert evader.region == (0, 0)
+    assert evader.stays_made == 0
+    assert evader.moves_made == 0
+
+
+def test_generated_models_are_move_strict_through_the_evader(rig):
+    from repro.mobility.gen import Walk
+    from repro.sim.rng import RngRegistry
+    from repro.topo.cache import shared_grid_hierarchy
+
+    hierarchy = shared_grid_hierarchy(2, 2)
+    sim = Simulator()
+    model = Walk().resolve(hierarchy, RngRegistry(0).stream("mobility.gen:0"))
+    assert model.allows_stay is False
+    evader = Evader(
+        sim, hierarchy.tiling, model, 1.0, rng=RngRegistry(0).stream("mobility.gen:0")
+    )
+    evader.enter()
+    for _ in range(5):
+        evader.step()
+    assert evader.moves_made == 5
+    assert evader.stays_made == 0

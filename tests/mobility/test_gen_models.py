@@ -1,0 +1,420 @@
+"""Unit tests for the generator framework's building blocks.
+
+The property suite (``test_gen_properties.py``) pins the global §VI
+contract over random combinator trees; these tests pin the individual
+pieces — spec validation, masked tilings, model mechanics, deployment
+apportionment, the preset registry and trace/workload edge cases.
+"""
+
+import random
+
+import pytest
+
+from repro.mobility.gen import (
+    COMBINATORS,
+    PRIMITIVES,
+    Compose,
+    Convoy,
+    Dither,
+    GeneratorSpec,
+    Hotspots,
+    HotspotNodes,
+    MaskedNodes,
+    MobilityContractError,
+    MobilityTrace,
+    Obstacles,
+    Replay,
+    ScatterNodes,
+    SpeedLimits,
+    Switch,
+    TimeSlice,
+    TraceRecorder,
+    UniformNodes,
+    Walk,
+    WaypointGraph,
+    check_trace,
+    generate,
+    masked_tiling,
+    place,
+    preset,
+    preset_names,
+    register_preset,
+    touched_level,
+    trace_workload,
+)
+from repro.mobility.gen.models import (
+    DitherModel,
+    GeneratedModel,
+    MaskedModel,
+    ReplayModel,
+    WaypointGraphModel,
+)
+from repro.mobility.gen.presets import _PRESETS
+from repro.mobility.gen.workload import resolve_spec
+from repro.sim.rng import RngRegistry
+from repro.topo.cache import shared_grid_hierarchy
+
+
+@pytest.fixture(scope="module")
+def world():
+    return shared_grid_hierarchy(2, 2)
+
+
+def _rng(seed=0):
+    return RngRegistry(seed).stream("mobility.gen:0")
+
+
+# ----------------------------------------------------------------------
+# masked_tiling
+# ----------------------------------------------------------------------
+def test_masked_tiling_rejects_unknown_regions(world):
+    with pytest.raises(ValueError, match="not in the tiling"):
+        masked_tiling(world.tiling, [(99, 99)])
+
+
+def test_masked_tiling_rejects_near_total_masks(world):
+    regions = list(world.tiling.regions())
+    with pytest.raises(ValueError, match="fewer than two"):
+        masked_tiling(world.tiling, regions[:-1])
+
+
+def test_masked_tiling_rejects_disconnection():
+    hierarchy = shared_grid_hierarchy(3, 1)
+    # Blocking the full middle column splits a 3x3 grid in two.
+    column = [(1, y) for y in range(3)]
+    with pytest.raises(ValueError, match="disconnects"):
+        masked_tiling(hierarchy.tiling, column)
+
+
+def test_masked_tiling_preserves_neighbor_subset(world):
+    masked = masked_tiling(world.tiling, [(0, 0)])
+    assert (0, 0) not in masked.regions()
+    for r in masked.regions():
+        assert set(masked.neighbors(r)) <= set(world.tiling.neighbors(r))
+
+
+# ----------------------------------------------------------------------
+# Spec validation
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "build",
+    [
+        lambda: WaypointGraph(k=1),
+        lambda: WaypointGraph(edges=((0, 1),), speeds=(1.0, 2.0)),
+        lambda: WaypointGraph(edges=((0, 1),), speeds=(-1.0,)),
+        lambda: Obstacles(inner=Walk(), density=1.5),
+        lambda: Obstacles(inner=Walk()),  # no regions, no density
+        lambda: Convoy(followers=0),
+        lambda: Convoy(offset=0),
+        lambda: Hotspots(k=0),
+        lambda: Hotspots(period=0),
+        lambda: Replay(steps=()),
+        lambda: Compose(parts=(Walk(),)),
+        lambda: Compose(parts=(Walk(), Dither()), weights=(1.0,)),
+        lambda: Compose(parts=(Walk(), Dither()), weights=(1.0, -2.0)),
+        lambda: Switch(parts=(Walk(),)),
+        lambda: Switch(parts=(Walk(), Dither()), every=0),
+        lambda: TimeSlice(parts=(Walk(), Dither()), boundaries=()),
+        lambda: TimeSlice(parts=(Walk(), Dither()), boundaries=(3, 3)),
+    ],
+)
+def test_malformed_specs_fail_at_construction(build):
+    with pytest.raises(ValueError):
+        build()
+
+
+def test_waypoint_resolve_validates_against_the_tiling(world):
+    with pytest.raises(ValueError, match="not in the tiling"):
+        WaypointGraph(nodes=((0, 0), (42, 42))).resolve(world, _rng())
+    with pytest.raises(ValueError, match="cannot sample"):
+        WaypointGraph(k=999).resolve(world, _rng())
+    with pytest.raises(ValueError, match="bad waypoint edge"):
+        WaypointGraph(nodes=((0, 0), (0, 1)), edges=((0, 5),)).resolve(world, _rng())
+
+
+def test_waypoint_rejects_unreachable_nodes(world):
+    nodes = ((0, 0), (0, 1), (0, 2))
+    with pytest.raises(ValueError, match="unreachable"):
+        WaypointGraph(nodes=nodes, edges=((0, 1), (1, 0))).resolve(world, _rng())
+
+
+def test_replay_trace_ends_early_when_exhausted(world):
+    from repro.mobility.gen import generate_trace
+
+    path_steps = ((0.0, (0, 0)), (50.0, (0, 1)), (100.0, (0, 2)))
+    trace = generate_trace(Replay(steps=path_steps), world, n_moves=10, seed=0)
+    # Two recorded moves, then the replay idles and the trace ends.
+    assert trace.regions == ((0, 0), (0, 1), (0, 2))
+
+
+def test_primitive_and_combinator_inventories():
+    assert len(PRIMITIVES) >= 6
+    assert len(COMBINATORS) == 3
+    for cls in PRIMITIVES + COMBINATORS:
+        assert issubclass(cls, GeneratorSpec)
+
+
+# ----------------------------------------------------------------------
+# Model mechanics
+# ----------------------------------------------------------------------
+def test_waypoint_slow_legs_scale_the_dwell(world):
+    spec = preset("waypoint-slow-legs")
+    model = spec.resolve(world, _rng(3))
+    assert isinstance(model, WaypointGraphModel)
+    assert set(model.speeds.values()) == {1.0, 2.0, 4.0}
+    traces = generate(spec, world, 10, seed=3, base_dwell=50.0)
+    # The 2x / 4x legs must be visible in the dwell distribution.
+    assert max(traces[0].dwells()) > min(traces[0].dwells())
+
+
+def test_waypoint_dead_ends_bounce_back(world):
+    nodes = ((0, 0), (0, 1))
+    model = WaypointGraph(nodes=nodes, edges=((0, 1),)).resolve(world, _rng())
+    # Waypoint 1 has no outgoing edge: it bounces back along 1 -> 0.
+    assert model.edges[1] == (0,)
+
+
+def test_dither_is_a_pure_function_of_the_start(world):
+    model = DitherModel(world)
+    rng_a, rng_b = random.Random(1), random.Random(999)
+    path_a = [(0, 0)]
+    path_b = [(0, 0)]
+    for _ in range(6):
+        path_a.append(model.next_region(path_a[-1], world.tiling, rng_a))
+        path_b.append(model.next_region(path_b[-1], world.tiling, rng_b))
+    assert path_a == path_b
+
+
+def test_replay_model_validates_and_idles(world):
+    with pytest.raises(ValueError, match="at least one region"):
+        ReplayModel(())
+    bad = ReplayModel(((0, 0), (3, 3)))
+    with pytest.raises(ValueError, match="not a neighbor move"):
+        bad.start_region(world.tiling, _rng())
+    ok = ReplayModel(((0, 0), (0, 1)))
+    assert ok.start_region(world.tiling, _rng()) == (0, 0)
+    assert ok.next_region((0, 0), world.tiling, _rng()) == (0, 1)
+    # Exhausted: idles at the final region (the allows_stay exception).
+    assert ok.next_region((0, 1), world.tiling, _rng()) == (0, 1)
+    assert ok.allows_stay
+
+
+def test_replay_model_walks_back_when_knocked_off_path(world):
+    model = ReplayModel(((0, 0), (0, 1), (0, 2)))
+    model.start_region(world.tiling, _rng())
+    model.next_region((0, 0), world.tiling, _rng())
+    # A combinator sibling teleported the evader far off path.
+    step = model.next_region((3, 3), world.tiling, _rng())
+    assert step in world.tiling.neighbors((3, 3))
+    assert world.tiling.distance(step, (0, 1)) < world.tiling.distance((3, 3), (0, 1))
+
+
+def test_masked_model_catches_up_from_outside_the_mask(world):
+    spec = Obstacles(inner=Walk(), regions=((0, 0),))
+    model = spec.resolve(world, _rng())
+    assert isinstance(model, MaskedModel)
+    # Current region is the obstacle itself: the model must step out.
+    step = model.next_region((0, 0), world.tiling, _rng())
+    assert step in world.tiling.neighbors((0, 0))
+    assert step != (0, 0)
+
+
+def test_generated_models_are_move_strict_by_default():
+    assert GeneratedModel.allows_stay is False
+    assert GeneratedModel().dwell_factor((0, 0), (0, 1)) == 1.0
+
+
+def test_generate_rejects_a_move_strict_stay(world):
+    class Stuck(GeneratedModel):
+        def start_region(self, tiling, rng):
+            return (0, 0)
+
+        def next_region(self, current, tiling, rng):
+            return current
+
+    class StuckSpec(GeneratorSpec):
+        def resolve(self, hierarchy, rng, tiling=None):
+            return Stuck()
+
+    with pytest.raises(MobilityContractError, match="returned the current region"):
+        generate(StuckSpec(), world, 3, seed=0)
+
+
+# ----------------------------------------------------------------------
+# Speed limits
+# ----------------------------------------------------------------------
+def test_touched_level_bounds(world):
+    assert touched_level(world, (0, 0), (0, 0)) == 0
+    # Crossing the top-level cluster boundary touches max_level.
+    assert touched_level(world, (1, 1), (2, 1)) == world.max_level
+
+
+def test_speed_limits_validation(world):
+    with pytest.raises(ValueError, match="mode"):
+        SpeedLimits(per_level=(1.0,), mode="sideways")
+    with pytest.raises(ValueError, match="non-empty"):
+        SpeedLimits(per_level=())
+    limits = SpeedLimits.for_hierarchy(world)
+    assert limits.enter_floor == limits.per_level[-1]
+    assert limits.per_level == tuple(sorted(limits.per_level))
+
+
+def test_check_trace_reports_the_violating_step(world):
+    limits = SpeedLimits.for_hierarchy(world)
+    trace = MobilityTrace(steps=((0.0, (0, 0)), (0.5, (0, 1))))
+    message = check_trace(trace, world, limits)
+    assert message is not None and "§VI floor" in message
+
+
+def test_for_hierarchy_requires_a_grid_base():
+    class NoGrid:
+        params = None
+
+    with pytest.raises(ValueError, match="no grid base"):
+        SpeedLimits.for_hierarchy(NoGrid())
+
+
+# ----------------------------------------------------------------------
+# Traces and workload export
+# ----------------------------------------------------------------------
+def test_trace_validation():
+    with pytest.raises(ValueError, match="at least the enter"):
+        MobilityTrace(steps=())
+    with pytest.raises(ValueError, match="strictly increasing"):
+        MobilityTrace(steps=((1.0, (0, 0)), (1.0, (0, 1))))
+
+
+def test_generate_needs_at_least_one_move(world):
+    with pytest.raises(ValueError, match="at least one move"):
+        generate(Walk(), world, 0, seed=0)
+
+
+def test_multi_object_traces_use_distinct_streams(world):
+    traces = generate(Walk(), world, 6, seed=4, n_objects=3)
+    assert [t.object_id for t in traces] == [0, 1, 2]
+    assert len({t.regions for t in traces}) > 1
+    # The per-object stagger keeps enters off each other's instants.
+    assert len({t.times[0] for t in traces}) == 3
+
+
+def test_trace_workload_requires_traces_and_spreads_finds(world):
+    with pytest.raises(ValueError, match="at least one trace"):
+        trace_workload([])
+    traces = generate(Walk(), world, 5, seed=2)
+    workload = trace_workload(
+        traces, n_finds=3, hierarchy=world, seed=2, deadline=10.0, settle=7.0
+    )
+    times = [a.time for a in workload.actions]
+    assert times == sorted(times) and len(set(times)) == len(times)
+    finds = [a for a in workload.actions if type(a).__name__ == "IssueFind"]
+    assert len(finds) == 3
+    assert all(f.deadline == 10.0 for f in finds)
+    assert workload.horizon == traces[0].steps[-1][0] + 7.0
+
+
+def test_trace_workload_without_hierarchy_uses_visited_regions(world):
+    traces = generate(Walk(), world, 4, seed=9)
+    workload = trace_workload(traces, n_finds=2, seed=9)
+    visited = set(traces[0].regions)
+    finds = [a for a in workload.actions if type(a).__name__ == "IssueFind"]
+    assert all(f.origin in visited for f in finds)
+
+
+def test_trace_recorder_requires_events():
+    with pytest.raises(ValueError, match="no enter/move events"):
+        TraceRecorder().trace()
+
+
+# ----------------------------------------------------------------------
+# Deployment specs
+# ----------------------------------------------------------------------
+def test_uniform_nodes_cover_every_region(world):
+    placements = place(UniformNodes(per_region=2), world.tiling, random.Random(0))
+    assert len(placements) == 2 * len(list(world.tiling.regions()))
+    assert placements == sorted(placements)
+
+
+def test_scatter_nodes_conserve_the_total(world):
+    counts = ScatterNodes(total=10).counts(world.tiling, random.Random(1))
+    assert sum(counts.values()) == 10
+
+
+def test_hotspot_nodes_concentrate_near_the_centers(world):
+    spec = HotspotNodes(total=12, hotspots=((0, 0),), falloff=3.0)
+    counts = spec.counts(world.tiling, random.Random(0))
+    assert sum(counts.values()) == 12
+    far = max(
+        world.tiling.regions(), key=lambda r: world.tiling.distance(r, (0, 0))
+    )
+    assert counts[(0, 0)] > counts[far]
+    with pytest.raises(ValueError, match="hotspots not in the tiling"):
+        HotspotNodes(hotspots=((9, 9),)).counts(world.tiling, random.Random(0))
+
+
+@pytest.mark.parametrize(
+    "build",
+    [
+        lambda: UniformNodes(per_region=0),
+        lambda: ScatterNodes(total=0),
+        lambda: HotspotNodes(total=0),
+        lambda: HotspotNodes(falloff=1.0),
+        lambda: MaskedNodes(inner=UniformNodes()),
+    ],
+)
+def test_malformed_deployments_fail_at_construction(build):
+    with pytest.raises(ValueError):
+        build()
+
+
+def test_hotspot_nodes_sample_centers_when_unpinned(world):
+    spec = HotspotNodes(total=8, k=2)
+    counts_a = spec.counts(world.tiling, random.Random(5))
+    counts_b = spec.counts(world.tiling, random.Random(5))
+    assert counts_a == counts_b  # placement is a pure function of the rng
+    assert sum(counts_a.values()) == 8
+
+
+def test_place_rejects_an_empty_deployment(world):
+    from repro.mobility.gen.deploy import DeploymentSpec
+
+    class Nothing(DeploymentSpec):
+        def counts(self, tiling, rng):
+            return {}
+
+    with pytest.raises(ValueError, match="placed no nodes"):
+        place(Nothing(), world.tiling, random.Random(0))
+
+
+def test_masked_nodes_zero_the_obstacles(world):
+    spec = MaskedNodes(inner=UniformNodes(), regions=((0, 0), (3, 3)))
+    counts = spec.counts(world.tiling, random.Random(0))
+    assert counts[(0, 0)] == 0 and counts[(3, 3)] == 0
+    assert sum(counts.values()) == len(list(world.tiling.regions())) - 2
+
+
+# ----------------------------------------------------------------------
+# Preset registry
+# ----------------------------------------------------------------------
+def test_preset_lookup_errors_name_the_known_regimes():
+    with pytest.raises(KeyError, match="uniform-walk"):
+        preset("no-such-regime")
+
+
+def test_register_preset_guards():
+    with pytest.raises(TypeError, match="GeneratorSpec"):
+        register_preset("bogus", object())
+    with pytest.raises(ValueError, match="already registered"):
+        register_preset("uniform-walk", Walk())
+    register_preset("test-custom-regime", Dither())
+    try:
+        assert "test-custom-regime" in preset_names()
+        assert preset("test-custom-regime") == Dither()
+    finally:
+        _PRESETS.pop("test-custom-regime")
+
+
+def test_resolve_spec_accepts_names_and_specs_only():
+    assert resolve_spec("dither") == Dither()
+    assert resolve_spec(Walk()) == Walk()
+    with pytest.raises(TypeError, match="preset name or GeneratorSpec"):
+        resolve_spec(42)
