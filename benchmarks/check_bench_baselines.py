@@ -1,0 +1,194 @@
+"""Validate a BENCH_baselines.json artifact (bench-baselines/1).
+
+CI's smoke-baselines step runs this after ``repro.analysis.crossbase``;
+exits nonzero when the artifact is malformed or a gate fails.
+
+Checks:
+
+* schema is ``bench-baselines/1``;
+* the grid covers the registered family floor — at least 6 trackers
+  over at least 3 mobility presets — and carries one cell per
+  (tracker, preset, fault) combination it declares (analytic trackers
+  skip fault cells: no message channel to perturb);
+* every cell positions its tracker on **all four score axes**: find
+  latency, message work, handovers (total + per-object summary), and
+  energy (charged + idle + total);
+* message-level cells ran on **both** engines at K ≥ 2, report the
+  sharded ledger total within float tolerance of the plain one, and
+  every classic ``vinestalk`` cell's canonical fingerprints match
+  (``all_classic_match`` — the cross-baseline K-invariance gate);
+* predictive cells balance their pre-configuration ledger:
+  ``received == correct + wasted``;
+* a full artifact must carry the fault axis (``loss`` cells for the
+  message trackers); ``--quick`` waives it.
+
+Usage::
+
+    python benchmarks/check_bench_baselines.py [BENCH_baselines.json] [--quick]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+SCHEMA = "bench-baselines/1"
+
+MIN_TRACKERS = 6
+MIN_PRESETS = 3
+
+CELL_KEYS = (
+    "tracker", "preset", "fault", "kind", "finds_issued",
+    "finds_completed", "find_latency", "message_work", "handovers",
+    "energy", "engines", "fingerprint_match",
+)
+
+WORK_KEYS = ("move", "find", "other", "total")
+
+ENERGY_KEYS = ("charged_energy", "idle_energy", "total_energy")
+
+#: Tolerance for plain-vs-sharded ledger totals (float association).
+ENERGY_RTOL = 1e-9
+
+
+def _check_cell(cell: dict, problems: list) -> None:
+    name = f"{cell.get('tracker', '?')}×{cell.get('preset', '?')}" \
+        f"/{cell.get('fault', '?')}"
+    for key in CELL_KEYS:
+        if key not in cell:
+            problems.append(f"{name}: cell key {key!r} missing")
+    if cell.get("finds_issued", 0) <= 0:
+        problems.append(f"{name}: no finds issued")
+    latency = cell.get("find_latency") or {}
+    for key in ("p50", "p95", "p99", "mean"):
+        if key not in latency:
+            problems.append(f"{name}: find_latency.{key} missing")
+    work = cell.get("message_work") or {}
+    for key in WORK_KEYS:
+        if key not in work:
+            problems.append(f"{name}: message_work.{key} missing")
+    handovers = cell.get("handovers") or {}
+    if "total" not in handovers or "summary" not in handovers:
+        problems.append(f"{name}: handover block incomplete")
+    else:
+        summary = handovers["summary"]
+        for key in ("objects", "min", "mean", "max", "histogram"):
+            if key not in summary:
+                problems.append(f"{name}: handovers.summary.{key} missing")
+    energy = cell.get("energy") or {}
+    for key in ENERGY_KEYS:
+        if energy.get(key) is None:
+            problems.append(f"{name}: energy.{key} missing")
+    if all(energy.get(k) is not None for k in ENERGY_KEYS):
+        if abs(
+            energy["total_energy"]
+            - (energy["charged_energy"] + energy["idle_energy"])
+        ) > 1e-6 * max(1.0, abs(energy["total_energy"])):
+            problems.append(f"{name}: energy totals do not add up")
+        if energy["total_energy"] <= 0:
+            problems.append(f"{name}: non-positive total energy")
+
+    if cell.get("kind") == "message":
+        engines = cell.get("engines") or {}
+        if engines.get("shards", 0) < 2:
+            problems.append(f"{name}: sharded engine ran with K < 2")
+        if not engines.get("plain") or not engines.get("sharded"):
+            problems.append(f"{name}: engine fingerprints missing")
+        totals = (energy.get("totals") or {}).get("total")
+        sharded_total = engines.get("sharded_energy_total")
+        if totals is not None and sharded_total is not None:
+            if abs(totals - sharded_total) > ENERGY_RTOL * max(
+                1.0, abs(totals)
+            ):
+                problems.append(
+                    f"{name}: sharded ledger total {sharded_total!r} != "
+                    f"plain {totals!r}"
+                )
+        if cell.get("tracker") == "vinestalk" and not cell.get(
+            "fingerprint_match"
+        ):
+            problems.append(
+                f"{name}: classic fingerprints diverge across engines"
+            )
+        preconfig = cell.get("preconfig")
+        if cell.get("tracker") == "predictive":
+            if not isinstance(preconfig, dict):
+                problems.append(f"{name}: predictive cell lacks preconfig")
+            elif preconfig["received"] != (
+                preconfig["correct"] + preconfig["wasted"]
+            ):
+                problems.append(
+                    f"{name}: preconfig ledger unbalanced ({preconfig})"
+                )
+    elif cell.get("kind") != "analytic":
+        problems.append(f"{name}: unknown cell kind {cell.get('kind')!r}")
+
+
+def check(path: Path, quick: bool = False) -> int:
+    bench = json.loads(path.read_text())
+    problems: list = []
+
+    if bench.get("schema") != SCHEMA:
+        problems.append(f"schema {bench.get('schema')!r} != {SCHEMA!r}")
+
+    grid = bench.get("grid", {})
+    trackers = grid.get("trackers", [])
+    presets = grid.get("presets", [])
+    if len(trackers) < MIN_TRACKERS:
+        problems.append(
+            f"only {len(trackers)} trackers in grid (floor {MIN_TRACKERS})"
+        )
+    if len(presets) < MIN_PRESETS:
+        problems.append(
+            f"only {len(presets)} presets in grid (floor {MIN_PRESETS})"
+        )
+
+    cells = bench.get("cells", [])
+    if not cells:
+        problems.append("no cells in artifact")
+    combos = {(c.get("tracker"), c.get("preset")) for c in cells}
+    missing = [
+        (t, p) for t in trackers for p in presets if (t, p) not in combos
+    ]
+    if missing:
+        problems.append(f"grid cells missing: {missing}")
+    for cell in cells:
+        _check_cell(cell, problems)
+
+    mode = bench.get("mode")
+    if not quick and mode == "full":
+        if not any(c.get("fault") == "loss" for c in cells):
+            problems.append("full artifact carries no fault-axis cells")
+
+    if bench.get("all_classic_match") is not True:
+        problems.append(
+            "all_classic_match is not true (cross-baseline K-invariance "
+            "gate)"
+        )
+
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"OK: {len(cells)} cells over {len(trackers)} trackers × "
+        f"{len(presets)} presets, all axes reported, classic "
+        "fingerprints match on both engines",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def main(argv) -> int:
+    args = [a for a in argv if not a.startswith("--")]
+    quick = "--quick" in argv
+    path = Path(args[0]) if args else Path("BENCH_baselines.json")
+    if not path.exists():
+        print(f"FAIL: {path} does not exist", file=sys.stderr)
+        return 1
+    return check(path, quick=quick)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -40,7 +40,15 @@ Grouped exports:
   :class:`Compose`, :class:`Switch`, :class:`TimeSlice`),
   :func:`mobility_preset` / :func:`mobility_presets`,
   :class:`SpeedLimits`, :class:`MobilityTrace`, :class:`TraceRecorder`,
-  :func:`generate_traces` (DESIGN.md §10).
+  :func:`generate_traces` (DESIGN.md §10);
+* **baselines & energy** (DESIGN.md §11) — the baseline pack
+  (:class:`PredictiveVineStalk`, :class:`PassiveTraceTracker`) and
+  analytic locators (:class:`HomeAgentLocator`,
+  :class:`AwerbuchPelegDirectory`, :class:`FloodingFinder`), the energy
+  subsystem (:class:`EnergyModel`, :class:`EnergyLedger`,
+  :class:`AdaptiveRatePolicy`, :func:`energy_metrics`,
+  :func:`merge_energy`) and the cross-baseline harness
+  (:func:`run_cross_baselines`).
 """
 
 from __future__ import annotations
@@ -50,7 +58,16 @@ from .analysis.experiments import (
     run_move_walk,
     run_service_mk,
 )
+from .analysis.crossbase import run_cross_baselines
 from .analysis.recovery import run_chaos
+from .baselines import (
+    AwerbuchPelegDirectory,
+    FloodingFinder,
+    HomeAgentLocator,
+    NoLateralVineStalk,
+    PassiveTraceTracker,
+    PredictiveVineStalk,
+)
 from .ckpt import (
     Snapshot,
     Variant,
@@ -61,6 +78,13 @@ from .ckpt import (
     snapshot_scenario,
 )
 from .core.vinestalk import VineStalk
+from .energy import (
+    AdaptiveRatePolicy,
+    EnergyLedger,
+    EnergyModel,
+    energy_metrics,
+    merge_energy,
+)
 from .mobility.gen import (
     Compose,
     Convoy,
@@ -162,4 +186,17 @@ __all__ = [
     "generate_traces",
     "mobility_preset",
     "mobility_presets",
+    # baselines & energy (DESIGN.md §11)
+    "AwerbuchPelegDirectory",
+    "FloodingFinder",
+    "HomeAgentLocator",
+    "NoLateralVineStalk",
+    "PassiveTraceTracker",
+    "PredictiveVineStalk",
+    "AdaptiveRatePolicy",
+    "EnergyLedger",
+    "EnergyModel",
+    "energy_metrics",
+    "merge_energy",
+    "run_cross_baselines",
 ]

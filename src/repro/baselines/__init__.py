@@ -1,9 +1,23 @@
-"""Baseline trackers and locators the paper's related work compares against."""
+"""Baseline trackers and locators the paper's related work compares against.
+
+Every baseline here registers in the :class:`~repro.scenario.
+ScenarioConfig` system registry under a uniform hyphenated key
+(``no-lateral``, ``predictive``, ``home-agent``, ``awerbuch-peleg``,
+``flooding``, ``passive-trace``); underscore spellings normalize.  The
+cross-baseline harness (:mod:`repro.analysis.crossbase`) runs the whole
+family over one shared mobility grid.
+"""
 
 from .awerbuch_peleg import AwerbuchPelegDirectory, DirectoryCosts
 from .flooding import FloodingFinder, FloodResult
 from .home_agent import HomeAgentCosts, HomeAgentLocator
 from .no_lateral import NoLateralTracker, NoLateralVineStalk, build_no_lateral_system
+from .pack import (
+    PassiveTraceCosts,
+    PassiveTraceTracker,
+    PredictiveTracker,
+    PredictiveVineStalk,
+)
 
 __all__ = [
     "AwerbuchPelegDirectory",
@@ -14,5 +28,9 @@ __all__ = [
     "HomeAgentLocator",
     "NoLateralTracker",
     "NoLateralVineStalk",
+    "PassiveTraceCosts",
+    "PassiveTraceTracker",
+    "PredictiveTracker",
+    "PredictiveVineStalk",
     "build_no_lateral_system",
 ]

@@ -25,7 +25,12 @@ Commands:
 * ``mobility`` — run the E-series tracked walk across generated mobility
   regimes (:mod:`repro.mobility.gen` presets): per-regime work, §VI
   speed verdict and trace fingerprints, with an optional sharded-engine
-  cross-check (CI's smoke-mobility job runs this with ``--json``).
+  cross-check (CI's smoke-mobility job runs this with ``--json``);
+* ``baselines`` — run the cross-baseline grid
+  (:mod:`repro.analysis.crossbase`): every registered tracker over a
+  shared mobility-preset grid on both engines, scoring find latency,
+  message work, handovers and energy (CI's smoke-baselines job runs
+  the same grid via ``repro.analysis.crossbase --quick``).
 
 The world-shape flags (``--r``, ``--max-level``, ``--seed``) are shared
 by every world-building command via a common parent parser; each command
@@ -241,6 +246,29 @@ def _build_parser() -> argparse.ArgumentParser:
     mobility.add_argument("--mode", choices=("concurrent", "atomic"),
                           default="concurrent",
                           help="§VI speed-restriction mode (default concurrent)")
+
+    baselines = sub.add_parser(
+        "baselines", parents=[jsonf],
+        help="cross-baseline grid: all trackers x mobility presets, "
+             "both engines, latency/work/handover/energy scoring",
+    )
+    baselines.add_argument(
+        "--trackers", default="all",
+        help='comma-separated tracker keys, or "all" (the full registry)',
+    )
+    baselines.add_argument(
+        "--presets", default="all",
+        help='comma-separated mobility presets, or "all" (the grid default)',
+    )
+    baselines.add_argument("--seed", type=int, default=7, help="root RNG seed")
+    baselines.add_argument("--moves", type=int, default=6,
+                           help="generated moves per object (default 6)")
+    baselines.add_argument("--finds", type=int, default=3,
+                           help="finds issued during the walk (default 3)")
+    baselines.add_argument("--shards", type=int, default=2,
+                           help="shard count K for the sharded engine")
+    baselines.add_argument("--out", default=None,
+                           help="also write the bench-baselines/1 payload here")
     return parser
 
 
@@ -849,6 +877,74 @@ def cmd_mobility(args) -> int:
     return 0 if (all_speed_ok and all_match) else 1
 
 
+def cmd_baselines(args) -> int:
+    import json as json_mod
+
+    from .analysis.crossbase import ALL_TRACKERS, PRESETS, run_cross_baselines
+
+    if args.trackers == "all":
+        trackers = ALL_TRACKERS
+    else:
+        trackers = tuple(
+            name.strip() for name in args.trackers.split(",") if name.strip()
+        )
+        unknown = [name for name in trackers if name not in ALL_TRACKERS]
+        if unknown:
+            print(f"unknown trackers: {', '.join(unknown)}", file=sys.stderr)
+            print(f"registered: {', '.join(ALL_TRACKERS)}", file=sys.stderr)
+            return 2
+    if args.presets == "all":
+        presets = PRESETS
+    else:
+        presets = tuple(
+            name.strip() for name in args.presets.split(",") if name.strip()
+        )
+    payload = run_cross_baselines(
+        trackers=trackers,
+        presets=presets,
+        n_moves=args.moves,
+        n_finds=args.finds,
+        seed=args.seed,
+        shards=args.shards,
+    )
+    if args.out:
+        with open(args.out, "w") as handle:
+            json_mod.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.json:
+        _emit("baselines", payload)
+        return 0 if payload["all_classic_match"] else 1
+    print(
+        f"baselines: {len(trackers)} trackers x {len(presets)} presets "
+        f"(moves={args.moves} finds={args.finds} seed={args.seed} "
+        f"K={args.shards})"
+    )
+    header = (
+        f"{'tracker':<16} {'preset':<16} {'latency':>8} {'work':>8} "
+        f"{'handover':>8} {'energy':>9}  engines"
+    )
+    print(header)
+    for cell in payload["cells"]:
+        latency = cell["find_latency"]["mean"]
+        latency_s = "-" if latency is None else f"{latency:.1f}"
+        energy = cell["energy"]["total_energy"]
+        if cell["fingerprint_match"] is None:
+            engines = "analytic"
+        elif cell["fingerprint_match"]:
+            engines = "MATCH"
+        else:
+            engines = "DIVERGED"
+        print(
+            f"{cell['tracker']:<16} {cell['preset']:<16} {latency_s:>8} "
+            f"{cell['message_work']['total']:>8.0f} "
+            f"{cell['handovers']['total']:>8} {energy:>9.1f}  {engines}"
+        )
+    verdict = "MATCH" if payload["all_classic_match"] else "DIVERGED"
+    print(f"classic cross-engine fingerprints: {verdict}")
+    return 0 if payload["all_classic_match"] else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     handlers = {
@@ -863,6 +959,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sharded": cmd_sharded,
         "service": cmd_service,
         "mobility": cmd_mobility,
+        "baselines": cmd_baselines,
     }
     return handlers[args.command](args)
 

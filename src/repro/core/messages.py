@@ -160,14 +160,40 @@ class Found(TrackerMessage):
     object_id: int = 0
 
 
+@dataclass(frozen=True, repr=False, slots=True)
+class Prewarm(TrackerMessage):
+    """Speculative pre-configuration of a predicted future path segment.
+
+    Sent by the predictive baseline (``repro.baselines.pack``) to the
+    cluster expected to receive the next ``grow``: a fresh (unexpired)
+    prewarm lets that cluster skip its grow-timer delay when the real
+    grow lands.  ``cid`` is the predicted joining (child) cluster,
+    ``expiry`` the sim time after which the speculation is stale.
+    Advisory only — it is neither a move nor a find message, so its
+    in-transit presence never violates a §IV-C consistent state and its
+    work lands in the accountant's ``other`` bucket.
+    """
+
+    cid: ClusterId
+    expiry: float = 0.0
+    object_id: int = 0
+
+
 # Kinds whose in-transit presence violates a consistent state (§IV-C).
 MOVE_MESSAGE_TYPES = (Grow, GrowNbr, GrowPar, Shrink, ShrinkUpd)
 FIND_MESSAGE_TYPES = (Find, FindQuery, FindAck, Found)
+# Advisory extension messages (neither move- nor find-critical).
+OTHER_MESSAGE_TYPES = (Prewarm,)
 
 # slots=True makes the dataclass decorator install a __setstate__ that
 # only understands its own field-list state; swap in the tolerant
 # loader so pre-slots (dict-state) checkpoints keep restoring.
-for _cls in (TrackerMessage,) + MOVE_MESSAGE_TYPES + FIND_MESSAGE_TYPES:
+for _cls in (
+    (TrackerMessage,)
+    + MOVE_MESSAGE_TYPES
+    + FIND_MESSAGE_TYPES
+    + OTHER_MESSAGE_TYPES
+):
     _cls.__setstate__ = _compat_setstate
 del _cls
 

@@ -59,6 +59,10 @@ class VineStalk:
     #: multi-object service existed unpickle into single-object systems
     #: (``self.evader`` keeps working; ``objects`` is rebuilt lazily).
     objects = None
+    #: Optional :class:`~repro.energy.EnergyLedger` (set by ``build``
+    #: when the config carries an energy model).  Class-level fallback
+    #: keeps pre-energy checkpoints unpickling into unmetered systems.
+    energy_ledger = None
 
     def __init__(
         self,
@@ -238,6 +242,10 @@ class VineStalk:
     ) -> None:
         if self.client_filter is not None and not self.client_filter(region):
             return
+        if event == "move" and self.energy_ledger is not None:
+            # One detection per delivered move, behind the client filter
+            # so each sense is charged in exactly one shard.
+            self.energy_ledger.charge_sense(region)
         client = self.clients.get(region)
         if client is not None and not client.failed:
             if object_id == 0:

@@ -1,0 +1,24 @@
+"""Per-region energy accounting (``repro.energy``, DESIGN.md §11).
+
+A frozen :class:`EnergyModel` on :class:`~repro.scenario.ScenarioConfig`
+turns on an :class:`EnergyLedger` charged from the existing C-gcast /
+V-bcast dispatch hooks and the augmented-GPS sense path; per-shard
+ledgers merge exactly (:func:`merge_energy`), post-merge
+:func:`energy_metrics` adds idle drain and lifetime projections, and
+:class:`AdaptiveRatePolicy` throttles discretionary traffic under
+budget pressure.
+"""
+
+from .ledger import ENERGY_SCHEMA, EnergyLedger, merge_energy
+from .metrics import energy_metrics
+from .model import EnergyModel
+from .policy import AdaptiveRatePolicy
+
+__all__ = [
+    "ENERGY_SCHEMA",
+    "AdaptiveRatePolicy",
+    "EnergyLedger",
+    "EnergyModel",
+    "energy_metrics",
+    "merge_energy",
+]

@@ -1,0 +1,79 @@
+"""Post-merge energy metrics: lifetime and first-node-death estimates.
+
+These run on a *merged* ledger payload (:func:`~repro.energy.ledger.
+merge_energy` output or a single shard's ``as_dict``), after the run:
+idle drain is a closed-form function of the merged horizon (uniform
+``idle_cost × now`` per region), so it never enters a per-shard charge
+— which is what keeps charged energy engine-fingerprint-equal.
+
+Lifetime projection, when the model carries a budget: each region
+drains at the observed average rate (``charge / now + idle_cost``);
+first node death is the earliest projected exhaustion, network lifetime
+the same quantity (the paper-style convention that the network is down
+when its first region is — the tracking path cannot route around a
+dead head VSA).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from .model import EnergyModel
+
+
+def energy_metrics(
+    energy: Optional[Dict[str, Any]],
+    model: EnergyModel,
+    now: float,
+    n_regions: int,
+) -> Dict[str, Any]:
+    """Aggregate a merged ledger payload into the report metric block.
+
+    Args:
+        energy: Merged ``as_dict`` payload (``None`` → empty metrics).
+        model: The cost model the run used (for idle/budget).
+        now: Merged run horizon (max shard sim time).
+        n_regions: Total regions in the world (idle applies to all,
+            including regions that never charged).
+    """
+    if energy is None:
+        return {
+            "charged_energy": 0.0,
+            "idle_energy": 0.0,
+            "total_energy": 0.0,
+            "max_region_energy": 0.0,
+            "mean_region_energy": 0.0,
+            "first_node_death": None,
+            "network_lifetime": None,
+        }
+    idle_per_region = model.idle_cost * now
+    idle_total = idle_per_region * n_regions
+    charged = energy["totals"]["total"]
+    per_region = energy["per_region"]
+    max_charge = max(
+        (cell["total"] for cell in per_region.values()), default=0.0
+    )
+    first_death: Optional[float] = None
+    if model.budget is not None and now > 0:
+        # Hottest region dies first: highest average drain rate.  Cold
+        # regions drain at idle_cost alone.
+        rates = [
+            cell["total"] / now + model.idle_cost
+            for cell in per_region.values()
+        ]
+        if len(per_region) < n_regions and model.idle_cost > 0:
+            rates.append(model.idle_cost)
+        positive = [rate for rate in rates if rate > 0]
+        if positive:
+            first_death = model.budget / max(positive)
+    return {
+        "charged_energy": charged,
+        "idle_energy": idle_total,
+        "total_energy": charged + idle_total,
+        "max_region_energy": max_charge + idle_per_region,
+        "mean_region_energy": (
+            (charged + idle_total) / n_regions if n_regions else 0.0
+        ),
+        "first_node_death": first_death,
+        "network_lifetime": first_death,
+    }

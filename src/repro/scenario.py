@@ -15,9 +15,11 @@ through the same two names:
   :class:`~repro.faults.injector.FaultInjector`.
 
 Registry keys: ``vinestalk``, ``no-lateral``, ``stabilizing``,
-``replicated``, ``emulated`` build message-level systems;
-``home-agent``, ``awerbuch-peleg``, ``flooding`` build the analytic
-cost-model baselines (no simulator, no accountant).
+``replicated``, ``emulated``, ``predictive`` build message-level
+systems; ``home-agent``, ``awerbuch-peleg``, ``flooding``,
+``passive-trace`` build the analytic cost-model baselines (no
+simulator, no accountant).  Underscore spellings of any key
+(``home_agent``) normalize to the hyphenated canonical form.
 
 Determinism: ``build`` performs exactly the same construction steps for
 the same config, and the injector's RNG streams are derived from
@@ -40,9 +42,16 @@ from .faults.plan import FaultPlan
 from .obs import span as obs_span
 
 #: Registry keys of the message-level (simulator-driven) systems.
-MESSAGE_SYSTEMS = ("vinestalk", "no-lateral", "stabilizing", "replicated", "emulated")
+MESSAGE_SYSTEMS = (
+    "vinestalk",
+    "no-lateral",
+    "stabilizing",
+    "replicated",
+    "emulated",
+    "predictive",
+)
 #: Registry keys of the analytic cost-model baselines.
-ANALYTIC_SYSTEMS = ("home-agent", "awerbuch-peleg", "flooding")
+ANALYTIC_SYSTEMS = ("home-agent", "awerbuch-peleg", "flooding", "passive-trace")
 
 
 @dataclass(frozen=True)
@@ -102,6 +111,11 @@ class ScenarioConfig:
             resolved spec on ``Scenario.mobility_spec``), ready to hand
             to ``system.make_evader``.  ``None`` keeps the classic
             caller-supplied-model path.
+        energy: Optional :class:`~repro.energy.EnergyModel`; when set,
+            :func:`build` attaches an :class:`~repro.energy.EnergyLedger`
+            to the message-level system's dispatch hooks (exposed as
+            ``Scenario.energy_ledger`` and ``system.energy_ledger``).
+            Analytic baselines ignore it (no dispatch path to meter).
     """
 
     r: int = 3
@@ -125,9 +139,16 @@ class ScenarioConfig:
     n_objects: int = 1
     find_clients: int = 4
     mobility: Optional[Any] = None
+    energy: Optional[Any] = None
 
     def __post_init__(self) -> None:
         if isinstance(self.system, str):
+            if "_" in self.system:
+                # Uniform registry keys: accept underscore spellings
+                # ("home_agent", "no_lateral", …) and normalize to the
+                # canonical hyphenated key so every baseline is reachable
+                # under one naming convention.
+                object.__setattr__(self, "system", self.system.replace("_", "-"))
             if self.system not in MESSAGE_SYSTEMS + ANALYTIC_SYSTEMS:
                 raise ValueError(
                     f"unknown system {self.system!r}; expected one of "
@@ -151,6 +172,11 @@ class ScenarioConfig:
             # Validates eagerly: unknown preset names and malformed
             # spec trees fail at config time, not inside build().
             resolve_spec(self.mobility)
+        if self.energy is not None:
+            from .energy.model import EnergyModel
+
+            if not isinstance(self.energy, EnergyModel):
+                raise TypeError("energy must be an EnergyModel")
 
     def __setstate__(self, state: Dict[str, Any]) -> None:
         # Pickles written before a field existed (e.g. ckpt/1 snapshots
@@ -189,6 +215,8 @@ class Scenario:
         mobility_model: A fresh mobility model resolved from
             ``mobility_spec`` (seeded from ``config.seed``), ready for
             ``system.make_evader(model=...)``.
+        energy_ledger: The attached :class:`~repro.energy.EnergyLedger`
+            when the config carries an energy model (None otherwise).
     """
 
     config: ScenarioConfig
@@ -198,6 +226,7 @@ class Scenario:
     injector: Optional[Any] = None
     mobility_spec: Optional[Any] = None
     mobility_model: Optional[Any] = None
+    energy_ledger: Optional[Any] = None
 
     @property
     def sim(self):
@@ -269,6 +298,14 @@ def _build_emulated(config: ScenarioConfig, hierarchy: Any) -> Any:
     )
 
 
+def _build_predictive(config: ScenarioConfig, hierarchy: Any) -> Any:
+    from .baselines.pack.predictive import PredictiveVineStalk
+
+    return PredictiveVineStalk(
+        hierarchy, delta=config.delta, e=config.e, schedule=config.schedule
+    )
+
+
 def _build_home_agent(config: ScenarioConfig, hierarchy: Any) -> Any:
     from .baselines.home_agent import HomeAgentLocator
 
@@ -287,15 +324,23 @@ def _build_flooding(config: ScenarioConfig, hierarchy: Any) -> Any:
     return FloodingFinder(hierarchy.tiling, delta=config.delta)
 
 
+def _build_passive_trace(config: ScenarioConfig, hierarchy: Any) -> Any:
+    from .baselines.pack.passive_trace import PassiveTraceTracker
+
+    return PassiveTraceTracker(hierarchy.tiling, delta=config.delta)
+
+
 SYSTEM_BUILDERS: Dict[str, Callable[[ScenarioConfig, Any], Any]] = {
     "vinestalk": _build_vinestalk,
     "no-lateral": _build_no_lateral,
     "stabilizing": _build_stabilizing,
     "replicated": _build_replicated,
     "emulated": _build_emulated,
+    "predictive": _build_predictive,
     "home-agent": _build_home_agent,
     "awerbuch-peleg": _build_awerbuch_peleg,
     "flooding": _build_flooding,
+    "passive-trace": _build_passive_trace,
 }
 
 
@@ -402,6 +447,16 @@ def _build_timed(
     from .analysis.accounting import WorkAccountant
 
     accountant = WorkAccountant().attach(system.cgcast)
+    energy_ledger = None
+    if config.energy is not None:
+        from .energy.ledger import EnergyLedger
+
+        energy_ledger = EnergyLedger(config.energy, hierarchy).attach(
+            system.cgcast, vbcast=getattr(system.network, "vbcast", None)
+        )
+        system.energy_ledger = energy_ledger
+        if hasattr(system, "attach_energy"):
+            system.attach_energy(energy_ledger)
     injector = None
     if config.fault_plan is not None:
         from .faults.injector import FaultInjector
@@ -420,6 +475,7 @@ def _build_timed(
         injector=injector,
         mobility_spec=mobility_spec,
         mobility_model=mobility_model,
+        energy_ledger=energy_ledger,
     )
 
 

@@ -36,6 +36,12 @@ class ServiceRunResult:
     ``latency``, ``work``, ``deadline_missed``); ``handovers`` maps
     object id to its cluster-originated Grow dispatch count; ``metrics``
     is the :func:`~repro.service.metrics.service_metrics` block.
+
+    ``work`` breaks total message work into the accountant's
+    move/find/other buckets; ``energy`` is the merged ``energy/1``
+    ledger payload when the config carries an
+    :class:`~repro.energy.EnergyModel` (None otherwise); ``preconfig``
+    carries the predictive baseline's pre-configuration counters.
     """
 
     engine: str
@@ -54,6 +60,9 @@ class ServiceRunResult:
     finds: Dict[int, dict] = field(default_factory=dict)
     handovers: Dict[int, int] = field(default_factory=dict)
     metrics: Dict[str, Any] = field(default_factory=dict)
+    work: Dict[str, float] = field(default_factory=dict)
+    energy: Optional[Dict[str, Any]] = None
+    preconfig: Optional[Dict[str, int]] = None
 
     @property
     def finds_issued(self) -> int:
@@ -133,6 +142,14 @@ class TrackingService:
             finds=finds,
             handovers=handovers,
             metrics=service_metrics(finds, handovers),
+            work={
+                "move": report["move_work"],
+                "find": report["find_work"],
+                "other": report["other_work"],
+                "total": report["total_cost"],
+            },
+            energy=report.get("energy"),
+            preconfig=report.get("preconfig"),
         )
 
     def _run_sharded(self, script, seed: int, objects: int) -> ServiceRunResult:
@@ -160,4 +177,12 @@ class TrackingService:
             finds=finds,
             handovers=handovers,
             metrics=service_metrics(finds, handovers),
+            work={
+                "move": result.move_work,
+                "find": result.find_work,
+                "other": result.other_work,
+                "total": result.total_cost,
+            },
+            energy=result.energy,
+            preconfig=result.preconfig,
         )

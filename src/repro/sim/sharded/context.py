@@ -239,6 +239,11 @@ class ShardContext:
                 "work": record.work,
             }
         stats = self.scenario.fault_stats
+        ledger = self.scenario.energy_ledger
+        preconfig = None
+        summarize = getattr(self.system, "preconfig_summary", None)
+        if summarize is not None:
+            preconfig = summarize()
         return {
             "shard_id": self.shard_id,
             "owned_regions": len(self.owned),
@@ -257,4 +262,6 @@ class ShardContext:
             "finds": finds,
             "handovers": dict(self.handovers),
             "fault_stats": stats.as_dict() if stats is not None else None,
+            "energy": ledger.as_dict() if ledger is not None else None,
+            "preconfig": preconfig,
         }

@@ -88,6 +88,10 @@ class ShardedRunResult:
     finds: Optional[Dict[int, dict]] = None
     #: object_id -> cluster-originated Grow dispatches (handover count).
     handovers: Optional[Dict[int, int]] = None
+    #: Merged ``energy/1`` ledger payload (None without an energy model).
+    energy: Optional[Dict[str, Any]] = None
+    #: Merged pre-configuration counters (predictive systems only).
+    preconfig: Optional[Dict[str, int]] = None
 
 
 def canonical_fingerprint(send_lines: List[str]) -> str:
@@ -210,6 +214,19 @@ class ShardedSimulator:
         for report in reports:
             for oid, count in report.get("handovers", {}).items():
                 handovers[oid] = handovers.get(oid, 0) + count
+        from ...energy.ledger import merge_energy
+
+        energy = merge_energy(r.get("energy") for r in reports)
+        preconfig: Optional[Dict[str, int]] = None
+        for report in reports:
+            partial = report.get("preconfig")
+            if partial is None:
+                continue
+            if preconfig is None:
+                preconfig = dict(partial)
+            else:
+                for key, value in partial.items():
+                    preconfig[key] = preconfig.get(key, 0) + value
         fault_events = None
         if reports[0]["fault_stats"] is not None:
             fault_events = dict(reports[0]["fault_stats"])
@@ -251,6 +268,8 @@ class ShardedSimulator:
             region_counts=tuple(self.plan.counts()),
             finds=finds,
             handovers=handovers,
+            energy=energy,
+            preconfig=preconfig,
         )
 
 

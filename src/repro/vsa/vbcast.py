@@ -39,6 +39,10 @@ class VBcast:
     #: hooks existed unpickle into a working (unhooked) instance.
     owned_filter: Optional[Callable[[RegionId], bool]] = None
     shard_router: Optional[ShardRouter] = None
+    #: Optional :class:`~repro.energy.EnergyLedger`: tx charged once per
+    #: broadcast at the source, rx once per endpoint delivery (both
+    #: happen in exactly one shard, so sums stay K-invariant).
+    energy_ledger = None
 
     def __init__(self, sim: Simulator, tiling: Tiling, delta: float, e: float = 0.0) -> None:
         if delta < 0 or e < 0:
@@ -78,6 +82,9 @@ class VBcast:
                 lag ``e`` in addition to ``δ``.
         """
         self.broadcasts += 1
+        ledger = self.energy_ledger
+        if ledger is not None:
+            ledger.charge_vbcast(source_region)
         delay = self.delta + (self.e if from_vsa else 0.0)
         targets = [source_region, *self.tiling.neighbors(source_region)]
         owned = self.owned_filter
@@ -87,9 +94,12 @@ class VBcast:
             targets = [r for r in targets if owned(r)]
 
         def deliver() -> None:
+            ledger = self.energy_ledger
             for region in targets:
                 for _name, endpoint in list(self._endpoints.get(region, [])):
                     self.deliveries += 1
+                    if ledger is not None:
+                        ledger.charge_vbcast_rx(region)
                     endpoint(message, source_region)
 
         delays = [delay]
@@ -113,7 +123,10 @@ class VBcast:
         current simulation time; the sending shard already counted the
         broadcast and ran fault interposition.
         """
+        ledger = self.energy_ledger
         for region in regions:
             for _name, endpoint in list(self._endpoints.get(region, [])):
                 self.deliveries += 1
+                if ledger is not None:
+                    ledger.charge_vbcast_rx(region)
                 endpoint(message, source_region)

@@ -1,0 +1,113 @@
+"""The cross-baseline harness: grid shape, cell schema, classic gate."""
+
+import pytest
+
+from repro.analysis.crossbase import (
+    ALL_TRACKERS,
+    ANALYTIC_TRACKERS,
+    MESSAGE_TRACKERS,
+    PRESETS,
+    SCHEMA,
+    run_cross_baselines,
+)
+
+#: Every cell must position its tracker on all four score axes.
+CELL_KEYS = (
+    "tracker", "preset", "fault", "kind", "finds_issued",
+    "finds_completed", "find_latency", "message_work", "handovers",
+    "energy", "preconfig", "engines", "fingerprint_match",
+)
+
+
+@pytest.fixture(scope="module")
+def payload():
+    # The quick grid: every tracker x every preset, fault axis off.
+    return run_cross_baselines(n_moves=4, n_finds=2)
+
+
+def test_registry_breadth():
+    assert len(ALL_TRACKERS) >= 6
+    assert len(PRESETS) >= 3
+    assert set(MESSAGE_TRACKERS).isdisjoint(ANALYTIC_TRACKERS)
+
+
+def test_grid_is_complete(payload):
+    assert payload["schema"] == SCHEMA
+    cells = payload["cells"]
+    assert len(cells) == len(ALL_TRACKERS) * len(PRESETS)
+    combos = {(c["tracker"], c["preset"]) for c in cells}
+    assert combos == {
+        (t, p) for t in ALL_TRACKERS for p in PRESETS
+    }
+
+
+def test_every_cell_reports_all_axes(payload):
+    for cell in payload["cells"]:
+        for key in CELL_KEYS:
+            assert key in cell, (cell["tracker"], cell["preset"], key)
+        assert cell["finds_issued"] > 0
+        assert set(cell["message_work"]) == {
+            "move", "find", "other", "total"
+        }
+        assert cell["message_work"]["total"] >= 0.0
+        assert "mean" in cell["find_latency"]
+        assert {"total", "summary"} <= set(cell["handovers"])
+        energy = cell["energy"]
+        assert energy["total_energy"] == pytest.approx(
+            energy["charged_energy"] + energy["idle_energy"]
+        )
+        assert energy["total_energy"] > 0.0
+
+
+def test_cell_kinds_split_by_family(payload):
+    for cell in payload["cells"]:
+        if cell["tracker"] in MESSAGE_TRACKERS:
+            assert cell["kind"] == "message"
+            assert cell["engines"] is not None
+            assert cell["fingerprint_match"] is not None
+        else:
+            assert cell["kind"] == "analytic"
+            assert cell["engines"] is None
+            assert cell["fingerprint_match"] is None
+
+
+def test_classic_cells_engine_invariant(payload):
+    classic = [
+        c for c in payload["cells"] if c["tracker"] == "vinestalk"
+    ]
+    assert classic
+    assert all(c["fingerprint_match"] for c in classic)
+    assert payload["all_classic_match"] is True
+    for cell in classic:
+        engines = cell["engines"]
+        assert engines["plain"] == engines["sharded"]
+        assert engines["shards"] >= 2
+        assert engines["sharded_energy_total"] == pytest.approx(
+            cell["energy"]["totals"]["total"]
+        )
+
+
+def test_predictive_cells_carry_preconfig(payload):
+    for cell in payload["cells"]:
+        if cell["tracker"] != "predictive":
+            continue
+        summary = cell["preconfig"]
+        assert summary is not None
+        assert summary["received"] == (
+            summary["correct"] + summary["wasted"]
+        )
+
+
+def test_unknown_tracker_rejected():
+    with pytest.raises(ValueError):
+        run_cross_baselines(trackers=("vinestalk", "nope"))
+
+
+def test_grid_is_seed_deterministic():
+    kwargs = dict(
+        trackers=("vinestalk",), presets=("uniform-walk",),
+        n_moves=4, n_finds=2,
+    )
+    first = run_cross_baselines(**kwargs)
+    second = run_cross_baselines(**kwargs)
+    assert first["cells"] == second["cells"]

@@ -1,0 +1,78 @@
+"""Predictive baseline: accounting invariants and the latency A/B.
+
+The pre-configuration ledger must balance — every received prewarm
+resolves as exactly one of ``correct`` or ``wasted`` (which folds in
+still-unresolved speculation) — and on a trending workload (the convoy
+preset moves in a line, so linear extrapolation is right) the zero-delay
+grow arming must not make finds *slower* than classic VINESTALK.
+"""
+
+import pytest
+
+from repro.mobility.gen.workload import GeneratedWalk
+from repro.scenario import ScenarioConfig, build
+from repro.service.service import TrackingService
+
+PRESETS = ("uniform-walk", "convoy-line", "dither")
+
+
+def _run(system, preset, seed=7, engine="plain", shards=1, **walk_kw):
+    config = ScenarioConfig(
+        r=2, max_level=2, system=system, seed=seed, shards=shards
+    )
+    walk = GeneratedWalk(
+        r=2, max_level=2, mobility=preset,
+        n_moves=walk_kw.pop("n_moves", 8),
+        n_finds=walk_kw.pop("n_finds", 4),
+        **walk_kw,
+    )
+    return TrackingService(config, engine=engine).run(walk)
+
+
+@pytest.mark.parametrize("preset", PRESETS)
+def test_preconfig_ledger_balances(preset):
+    result = _run("predictive", preset)
+    summary = result.preconfig
+    assert summary is not None
+    # Every received prewarm resolved exactly once.
+    assert summary["received"] == summary["correct"] + summary["wasted"]
+    # No faults, no throttle: every dispatched prewarm was delivered.
+    assert summary["received"] == summary["sent"]
+    assert summary["suppressed"] == 0
+    for key in ("sent", "received", "correct", "wasted"):
+        assert summary[key] >= 0
+
+
+def test_preconfig_counters_shard_sum_exact():
+    plain = _run("predictive", "convoy-line")
+    sharded = _run(
+        "predictive", "convoy-line", engine="sharded", shards=2
+    )
+    assert plain.canonical_fingerprint == sharded.canonical_fingerprint
+    assert plain.preconfig == sharded.preconfig
+
+
+def test_convoy_prediction_actually_fires():
+    """The trending preset must exercise the prewarm path."""
+    result = _run("predictive", "convoy-line")
+    assert result.preconfig["sent"] > 0
+    assert result.preconfig["correct"] > 0
+    # Prewarms are advisory: classified as other-bucket work, never
+    # move/find, and never handovers.
+    assert result.work["other"] >= result.preconfig["sent"]
+
+
+def test_predictive_not_slower_than_classic_on_convoy():
+    """Seeded A/B: predictive find latency <= classic, find for find."""
+    classic = _run("vinestalk", "convoy-line")
+    predictive = _run("predictive", "convoy-line")
+    assert classic.finds_issued == predictive.finds_issued > 0
+    c_lat = classic.metrics["latency"]
+    p_lat = predictive.metrics["latency"]
+    assert p_lat["mean"] <= c_lat["mean"]
+    assert p_lat["p95"] <= c_lat["p95"]
+
+
+def test_classic_tracker_ignores_prewarm_counters():
+    scenario = build(ScenarioConfig(r=2, max_level=2, system="vinestalk"))
+    assert not hasattr(scenario.system, "preconfig_summary")
